@@ -1,0 +1,57 @@
+"""Shared benchmark infrastructure.
+
+Each bench module regenerates one of the paper's evaluation figures.
+Results are cached across modules (every figure reads the same ten
+baseline/speculative runs), written to ``benchmarks/results/`` and
+echoed to the terminal at session end (pytest captures stdout during
+tests, so the tables are printed from the sessionfinish hook).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_tables: dict[str, str] = {}
+
+
+def publish_table(name: str, table: str) -> None:
+    """Save a figure table to disk and queue it for terminal echo."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table + "\n")
+    _tables[name] = table
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _tables:
+        return
+    tw = getattr(session.config, "get_terminal_writer", lambda: None)()
+    emit = tw.line if tw is not None else print
+    emit("")
+    emit("=" * 78)
+    emit("Reproduced evaluation figures (also in benchmarks/results/)")
+    emit("=" * 78)
+    for name in sorted(_tables):
+        emit("")
+        for line in _tables[name].splitlines():
+            emit(line)
+
+
+@pytest.fixture(scope="session")
+def all_results():
+    """The ten benchmark measurements, shared by every figure.  Also
+    dumps the raw data as JSON for downstream plotting."""
+    import json
+
+    from repro.workloads import figures_as_dict, run_all_benchmarks
+
+    results = run_all_benchmarks()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "figures.json").write_text(
+        json.dumps(figures_as_dict(results), indent=2) + "\n"
+    )
+    return results

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Pointer-chasing workload (mcf-flavoured): end-to-end methodology.
+
+Demonstrates the paper's full experimental flow on one benchmark:
+
+1. run the *train* input under the instrumented interpreter to collect
+   the alias profile (section 3.1);
+2. compile the baseline (-O3: classical PRE + software checks) and the
+   treatment (-O3 + profile-guided ALAT speculation);
+3. simulate both on the *ref* input and compare pfmon-style counters
+   (Figure 8 metrics), including the direct/indirect split (Figure 9)
+   and mis-speculation (Figure 10).
+
+Run:  python examples/pointer_chasing.py
+"""
+
+from repro import CompilerOptions, OptLevel, SpecMode, compile_source
+from repro.minic import compile_to_ir
+from repro.speculation.profile import collect_alias_profile
+from repro.workloads.programs import get_workload
+
+
+def main() -> None:
+    workload = get_workload("mcf")
+    print(f"workload: {workload.name} — {workload.description}\n")
+
+    # 1. alias profiling on the train input
+    module = compile_to_ir(workload.source)
+    profile, train_result = collect_alias_profile(
+        module, list(workload.train_args)
+    )
+    print(
+        f"train run ({workload.train_args}): "
+        f"{train_result.stats.indirect_loads} indirect loads, "
+        f"{profile.total_dynamic_stores} indirect stores profiled, "
+        f"{len(profile.store_targets)} distinct store sites observed\n"
+    )
+
+    # 2+3. compile and simulate both configurations on the ref input
+    results = {}
+    for label, mode in (("baseline -O3", SpecMode.NONE),
+                        ("ALAT speculation", SpecMode.PROFILE)):
+        out = compile_source(
+            workload.source,
+            CompilerOptions(opt_level=OptLevel.O3, spec_mode=mode),
+            train_args=list(workload.train_args),
+            name=workload.name,
+        )
+        res = out.run(list(workload.ref_args))
+        results[label] = res
+        c = res.counters
+        print(
+            f"{label:<18} cycles {c.cpu_cycles:>9}  "
+            f"data-access {c.data_access_cycles:>8}  "
+            f"loads {c.retired_loads:>8} "
+            f"(indirect {c.retired_indirect_loads})  "
+            f"checks {c.check_instructions:>6} "
+            f"(failed {c.check_failures})"
+        )
+
+    base = results["baseline -O3"].counters
+    spec = results["ALAT speculation"].counters
+    assert results["baseline -O3"].output == results["ALAT speculation"].output
+
+    cyc = 100.0 * (base.cpu_cycles - spec.cpu_cycles) / base.cpu_cycles
+    loads = 100.0 * (base.retired_loads - spec.retired_loads) / base.retired_loads
+    ind = (base.retired_indirect_loads - spec.retired_indirect_loads)
+    dirc = (base.retired_loads - base.retired_indirect_loads) - (
+        spec.retired_loads - spec.retired_indirect_loads
+    )
+    print(
+        f"\nspeculation gains: {cyc:+.2f}% cycles, {loads:+.2f}% loads "
+        f"({ind} indirect + {dirc} direct eliminated)"
+    )
+    print(
+        "the eliminated loads are dominated by pointer-chasing accesses\n"
+        "(the paper's Figure 9 observation for mcf)."
+    )
+
+
+if __name__ == "__main__":
+    main()

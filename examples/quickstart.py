@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one pointer-heavy MiniC program under every
+compilation mode and compare the simulated hardware counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_source,
+    run_program,
+)
+
+SOURCE = """
+int a;                  // the promotion candidate
+int b;
+int *p;                 // may point at a or b — the compiler can't tell
+
+int main(int n) {
+    if (n > 100) { p = &a; } else { p = &b; }
+    a = 7;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + a;      // load of a ...
+        *p = s;         // ... may be killed by this store ...
+        s = s + a;      // ... so this load looks non-redundant
+        i = i + 1;
+    }
+    print(s);
+    print(a);
+    print(b);
+    return 0;
+}
+"""
+
+MODES = [
+    ("O0  (no promotion)", OptLevel.O0, SpecMode.NONE),
+    ("O1  (scalar promotion)", OptLevel.O1, SpecMode.NONE),
+    ("O2  (classical PRE)", OptLevel.O2, SpecMode.NONE),
+    ("O3  (PRE + software checks)", OptLevel.O3, SpecMode.NONE),
+    ("O3 + ALAT (profile)", OptLevel.O3, SpecMode.PROFILE),
+    ("O3 + ALAT (heuristic)", OptLevel.O3, SpecMode.HEURISTIC),
+]
+
+
+def main() -> None:
+    train_args = [10]   # profile run: p points at b
+    ref_args = [50]     # measured run: same path, bigger
+
+    reference = run_program(SOURCE, ref_args)
+    print(f"reference output: {reference.output}\n")
+
+    header = (
+        f"{'mode':<30}{'cycles':>8}{'loads':>7}{'checks':>8}"
+        f"{'fails':>7}{'data cyc':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, lvl, spec in MODES:
+        out = compile_source(
+            SOURCE,
+            CompilerOptions(opt_level=lvl, spec_mode=spec),
+            train_args=train_args,
+        )
+        res = out.run(ref_args)
+        assert res.output == reference.output, f"{label}: wrong output!"
+        c = res.counters
+        print(
+            f"{label:<30}{c.cpu_cycles:>8}{c.retired_loads:>7}"
+            f"{c.check_instructions:>8}{c.check_failures:>7}"
+            f"{c.data_access_cycles:>9}"
+        )
+
+    print(
+        "\nEvery mode produces identical output; the ALAT modes eliminate"
+        "\nthe loads of `a` across `*p` and validate them with free ld.c"
+        "\nchecks (zero failures: the profile held on the measured input)."
+    )
+
+    # Mis-speculation: measure an input that takes the p = &a path.
+    out = compile_source(
+        SOURCE,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=train_args,
+    )
+    adversarial = [200]
+    res = out.run(adversarial)
+    ref = run_program(SOURCE, adversarial)
+    assert res.output == ref.output
+    c = res.counters
+    print(
+        f"\nmis-speculated run (n=200, p -> a): output still correct; "
+        f"{c.check_failures}/{c.check_instructions} checks failed and "
+        f"reloaded (ratio {100 * c.misspeculation_ratio:.1f}%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

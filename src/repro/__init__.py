@@ -1,0 +1,77 @@
+"""repro — speculative register promotion with an ALAT.
+
+A complete, self-contained reproduction of *"Speculative Register
+Promotion Using Advanced Load Address Table (ALAT)"* (Lin, Chen, Hsu,
+Yew — CGO 2003): a MiniC compiler with HSSA/SSAPRE register promotion,
+profile-guided alias speculation, an IA-64-flavoured code generator,
+and an Itanium-like simulator with ALAT / cache / RSE models.
+
+Quickstart::
+
+    from repro import compile_source, CompilerOptions, OptLevel, SpecMode
+
+    source = '''
+    int a; int b; int *p;
+    int main(int n) {
+        if (n > 100) { p = &a; } else { p = &b; }
+        a = 7;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) { s += a; *p = s; s += a; }
+        print(s);
+        return 0;
+    }
+    '''
+    out = compile_source(
+        source,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[10],
+    )
+    result = out.run([50])
+    print(result.output, result.counters.cpu_cycles)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced evaluation figures.
+"""
+
+from repro.errors import ReproError
+from repro.pipeline import (
+    CompileOutput,
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_and_run,
+    compile_source,
+    run_program,
+)
+from repro.machine.cpu import MachineConfig, MachineResult, Simulator
+from repro.machine.alat import ALAT, ALATConfig
+from repro.machine.cache import CacheConfig
+from repro.machine.rse import RSEConfig
+from repro.speculation.profile import AliasProfile, collect_alias_profile
+from repro.minic import compile_to_ir
+from repro.ir.interp import run_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "CompileOutput",
+    "CompilerOptions",
+    "OptLevel",
+    "SpecMode",
+    "compile_and_run",
+    "compile_source",
+    "run_program",
+    "MachineConfig",
+    "MachineResult",
+    "Simulator",
+    "ALAT",
+    "ALATConfig",
+    "CacheConfig",
+    "RSEConfig",
+    "AliasProfile",
+    "collect_alias_profile",
+    "compile_to_ir",
+    "run_module",
+    "__version__",
+]

@@ -1,0 +1,117 @@
+"""Command-line driver: compile and simulate a MiniC file.
+
+Usage::
+
+    python -m repro program.mc --args 50 --opt 3 --spec profile \\
+        --train-args 10 --dump-ir --counters
+
+Mirrors the library pipeline: optional alias-profiling run on the train
+arguments, compilation at the chosen level/speculation mode, simulation
+on the main arguments, and pfmon-style counter output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pipeline import (
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_source,
+    run_program,
+)
+from repro.ir.printer import format_module
+from repro.target.asmprinter import format_program
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compile and simulate a MiniC program with "
+        "ALAT-based speculative register promotion.",
+    )
+    parser.add_argument("file", help="MiniC source file")
+    parser.add_argument(
+        "--args",
+        type=int,
+        nargs="*",
+        default=[],
+        help="integer arguments passed to main()",
+    )
+    parser.add_argument(
+        "--train-args",
+        type=int,
+        nargs="*",
+        default=None,
+        help="arguments for the alias-profiling run (defaults to --args)",
+    )
+    parser.add_argument(
+        "--opt", type=int, choices=(0, 1, 2, 3), default=3, help="optimisation level"
+    )
+    parser.add_argument(
+        "--spec",
+        choices=[m.value for m in SpecMode],
+        default="none",
+        help="alias speculation mode (requires --opt 3)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="promotion rounds (2 enables cascaded pointer chains)",
+    )
+    parser.add_argument("--dump-ir", action="store_true", help="print optimised IR")
+    parser.add_argument("--dump-asm", action="store_true", help="print machine code")
+    parser.add_argument(
+        "--counters", action="store_true", help="print simulator counters"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially check against the unoptimised interpreter",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.file) as f:
+        source = f.read()
+
+    options = CompilerOptions(
+        opt_level=OptLevel(args.opt),
+        spec_mode=SpecMode(args.spec),
+        rounds=args.rounds,
+    )
+    train = args.train_args if args.train_args is not None else args.args
+    output = compile_source(source, options, train_args=train, name=args.file)
+
+    if args.dump_ir:
+        print(format_module(output.module))
+        print()
+    if args.dump_asm:
+        print(format_program(output.program))
+        print()
+
+    result = output.run(list(args.args))
+    for line in result.output:
+        print(line)
+
+    if args.verify:
+        reference = run_program(source, list(args.args))
+        if reference.output != result.output or reference.exit_value != result.exit_value:
+            print("VERIFY FAILED: optimised output differs from oracle", file=sys.stderr)
+            return 2
+        print("verify: OK (matches unoptimised interpreter)", file=sys.stderr)
+
+    if args.counters:
+        for key, value in result.counters.as_dict().items():
+            print(f"{key:>22}: {value}", file=sys.stderr)
+
+    return result.exit_value % 256
+
+
+if __name__ == "__main__":
+    sys.exit(main())

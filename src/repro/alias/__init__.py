@@ -1,0 +1,30 @@
+"""Pointer alias analyses.
+
+The family mirrors what ORC's -O3 baseline runs (paper section 4):
+an equivalence-class (Steensgaard) analysis, a more precise
+inclusion-based (Andersen) analysis, and an unsafe type-based filter.
+:class:`~repro.alias.manager.AliasManager` combines a solver with the
+filter and answers the queries HSSA construction needs: per-statement
+may-def (χ) and may-use (μ) sets and per-occurrence points-to sets.
+"""
+
+from repro.alias.memobj import MemObject, VarMemObject, HeapMemObject
+from repro.alias.constraints import ConstraintSystem, build_constraints
+from repro.alias.steensgaard import solve_steensgaard
+from repro.alias.andersen import solve_andersen
+from repro.alias.typebased import type_filter_points_to, object_access_types
+from repro.alias.manager import AliasManager, AliasAnalysisKind
+
+__all__ = [
+    "MemObject",
+    "VarMemObject",
+    "HeapMemObject",
+    "ConstraintSystem",
+    "build_constraints",
+    "solve_steensgaard",
+    "solve_andersen",
+    "type_filter_points_to",
+    "object_access_types",
+    "AliasManager",
+    "AliasAnalysisKind",
+]

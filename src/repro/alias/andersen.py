@@ -1,0 +1,94 @@
+"""Andersen-style inclusion-based points-to analysis.
+
+Worklist solver over the constraint graph: COPY constraints are edges;
+LOAD/STORE constraints add edges lazily as points-to sets grow.  Cubic
+in the worst case, fast on MiniC-sized programs, and strictly more
+precise than the Steensgaard solver — the paper's ORC baseline runs a
+comparable "sequence of pointer analyses"."""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.alias.constraints import (
+    Constraint,
+    ConstraintKind,
+    ConstraintSystem,
+    Node,
+)
+from repro.alias.memobj import MemObject
+from repro.alias.solution import PointsToSolution
+
+
+def solve_andersen(system: ConstraintSystem) -> PointsToSolution:
+    pts: dict[int, set[int]] = defaultdict(set)  # node id -> object ids
+    succ: dict[int, set[int]] = defaultdict(set)  # copy edges, node -> nodes
+    objects: dict[int, MemObject] = {}
+
+    load_uses: dict[int, list[Node]] = defaultdict(list)  # q -> dsts of LOAD(d,*q)
+    store_uses: dict[int, list[Node]] = defaultdict(list)  # p -> srcs of STORE(*p,s)
+
+    worklist: deque[int] = deque()
+    dirty: set[int] = set()
+
+    def touch(nid: int) -> None:
+        if nid not in dirty:
+            dirty.add(nid)
+            worklist.append(nid)
+
+    def add_edge(src: Node, dst: Node) -> None:
+        if dst.nid not in succ[src.nid]:
+            succ[src.nid].add(dst.nid)
+            if pts[src.nid] - pts[dst.nid]:
+                pts[dst.nid] |= pts[src.nid]
+                touch(dst.nid)
+
+    # Seed
+    for c in system.constraints:
+        if c.kind is ConstraintKind.ADDR:
+            obj = c.src
+            assert isinstance(obj, MemObject)
+            objects[obj.id] = obj
+            if obj.id not in pts[c.dst.nid]:
+                pts[c.dst.nid].add(obj.id)
+                touch(c.dst.nid)
+        elif c.kind is ConstraintKind.COPY:
+            assert isinstance(c.src, Node)
+            add_edge(c.src, c.dst)
+        elif c.kind is ConstraintKind.LOAD:
+            assert isinstance(c.src, Node)
+            load_uses[c.src.nid].append(c.dst)
+        elif c.kind is ConstraintKind.STORE:
+            assert isinstance(c.src, Node)
+            store_uses[c.dst.nid].append(c.src)
+
+    node_by_id = {n.nid: n for n in system.nodes}
+
+    def contents_node(obj_id: int) -> Node:
+        return system.contents_nodes[obj_id]
+
+    # Propagate
+    while worklist:
+        nid = worklist.popleft()
+        dirty.discard(nid)
+        node_pts = pts[nid]
+        # expand complex constraints
+        for dst in load_uses.get(nid, ()):
+            for obj_id in list(node_pts):
+                add_edge(contents_node(obj_id), dst)
+        for src in store_uses.get(nid, ()):
+            for obj_id in list(node_pts):
+                add_edge(src, contents_node(obj_id))
+        # propagate along copy edges
+        for succ_id in succ.get(nid, ()):
+            if node_pts - pts[succ_id]:
+                pts[succ_id] |= node_pts
+                touch(succ_id)
+
+    all_objects = {o.id: o for o in system.all_objects()}
+    all_objects.update(objects)
+
+    def resolve(node: Node) -> frozenset[MemObject]:
+        return frozenset(all_objects[oid] for oid in pts.get(node.nid, ()))
+
+    return PointsToSolution(system, resolve, "andersen")

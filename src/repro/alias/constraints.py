@@ -1,0 +1,275 @@
+"""Points-to constraint generation.
+
+One constraint system per module, shared by both solvers.  The system is
+flow- and context-insensitive over four standard constraint forms:
+
+* ``ADDR  p ⊇ {o}``  — p may point to object o (``&v``, ``alloc``);
+* ``COPY  p ⊇ q``    — assignments, parameter/return bindings;
+* ``LOAD  p ⊇ *q``   — ``p = *q``;
+* ``STORE *p ⊇ q``   — ``*p = q``.
+
+Every variable with a memory home gets a :class:`MemObject`; an
+**address-taken** variable's node is identified with its object's
+contents node, so indirect writes through pointers correctly feed the
+points-to set observed by direct reads of that variable.
+
+The builder records the node of every indirect access path
+(``Load.addr`` / ``Store.addr`` expression id), which is how the
+:class:`~repro.alias.manager.AliasManager` later asks "what may this
+access touch?".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
+from repro.errors import IRError
+from repro.ir.expr import (
+    AddrOf,
+    BinOp,
+    ConstFloat,
+    ConstInt,
+    Expr,
+    Load,
+    UnOp,
+    VarRead,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import (
+    Alloc,
+    Assign,
+    Call,
+    ConditionalReload,
+    Return,
+    Stmt,
+    Store,
+)
+from repro.ir.symbols import Variable
+
+_node_ids = itertools.count(1)
+
+
+class Node:
+    """A points-to set holder."""
+
+    __slots__ = ("nid", "name")
+
+    def __init__(self, name: str) -> None:
+        self.nid = next(_node_ids)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Node({self.name!r}#{self.nid})"
+
+
+class ConstraintKind(enum.Enum):
+    ADDR = "addr"
+    COPY = "copy"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    kind: ConstraintKind
+    dst: Node
+    src: Union[Node, MemObject]
+
+    def __str__(self) -> str:
+        if self.kind is ConstraintKind.ADDR:
+            return f"{self.dst.name} >= {{{self.src}}}"
+        if self.kind is ConstraintKind.COPY:
+            return f"{self.dst.name} >= {self.src.name}"  # type: ignore[union-attr]
+        if self.kind is ConstraintKind.LOAD:
+            return f"{self.dst.name} >= *{self.src.name}"  # type: ignore[union-attr]
+        return f"*{self.dst.name} >= {self.src.name}"  # type: ignore[union-attr]
+
+
+class ConstraintSystem:
+    """Constraints plus the node environment they were built in."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.constraints: list[Constraint] = []
+        self.nodes: list[Node] = []
+        #: object for each memory-home variable (keyed by variable id)
+        self.var_objects: dict[int, VarMemObject] = {}
+        #: object per allocation site (keyed by Alloc sid)
+        self.heap_objects: dict[int, HeapMemObject] = {}
+        #: contents node of each object (keyed by object id)
+        self.contents_nodes: dict[int, Node] = {}
+        #: solver node of each variable (keyed by variable id)
+        self.var_nodes: dict[int, Node] = {}
+        #: return-value node per function name
+        self.ret_nodes: dict[str, Node] = {}
+        #: node of each indirect access address (keyed by expression eid)
+        self.access_nodes: dict[int, Node] = {}
+
+    # -- node management ----------------------------------------------------
+
+    def new_node(self, name: str) -> Node:
+        node = Node(name)
+        self.nodes.append(node)
+        return node
+
+    def object_of_var(self, var: Variable) -> VarMemObject:
+        obj = self.var_objects.get(var.id)
+        if obj is None:
+            obj = VarMemObject(var)
+            self.var_objects[var.id] = obj
+            self.contents_nodes[obj.id] = self.new_node(f"mem({var.name})")
+        return obj
+
+    def object_of_alloc(self, alloc: Alloc) -> HeapMemObject:
+        obj = self.heap_objects.get(alloc.sid)
+        if obj is None:
+            obj = HeapMemObject(alloc)
+            self.heap_objects[alloc.sid] = obj
+            self.contents_nodes[obj.id] = self.new_node(f"mem({obj.name})")
+        return obj
+
+    def node_of_var(self, var: Variable) -> Node:
+        """The solver node holding a variable's value.
+
+        For variables whose address can escape (memory homes), the node
+        is the contents node of their object so indirect writes are
+        observed; register temporaries get plain nodes.
+        """
+        node = self.var_nodes.get(var.id)
+        if node is None:
+            if var.has_memory_home:
+                obj = self.object_of_var(var)
+                node = self.contents_nodes[obj.id]
+            else:
+                node = self.new_node(var.name)
+            self.var_nodes[var.id] = node
+        return node
+
+    def ret_node(self, fname: str) -> Node:
+        node = self.ret_nodes.get(fname)
+        if node is None:
+            node = self.new_node(f"ret({fname})")
+            self.ret_nodes[fname] = node
+        return node
+
+    def all_objects(self) -> list[MemObject]:
+        return list(self.var_objects.values()) + list(self.heap_objects.values())
+
+    # -- constraint emission ------------------------------------------------
+
+    def addr(self, dst: Node, obj: MemObject) -> None:
+        self.constraints.append(Constraint(ConstraintKind.ADDR, dst, obj))
+
+    def copy(self, dst: Node, src: Node) -> None:
+        if dst is not src:
+            self.constraints.append(Constraint(ConstraintKind.COPY, dst, src))
+
+    def load(self, dst: Node, src: Node) -> None:
+        self.constraints.append(Constraint(ConstraintKind.LOAD, dst, src))
+
+    def store(self, dst: Node, src: Node) -> None:
+        self.constraints.append(Constraint(ConstraintKind.STORE, dst, src))
+
+
+class _Builder:
+    def __init__(self, module: Module) -> None:
+        self.sys = ConstraintSystem(module)
+
+    def run(self) -> ConstraintSystem:
+        for fn in self.module.iter_functions():
+            for stmt in fn.iter_stmts():
+                self._stmt(fn, stmt)
+        return self.sys
+
+    @property
+    def module(self) -> Module:
+        return self.sys.module
+
+    # -- statements ---------------------------------------------------------
+
+    def _stmt(self, fn: Function, stmt: Stmt) -> None:
+        # Evaluate every top-level expression so access nodes and
+        # embedded AddrOf constraints are recorded even in non-pointer
+        # contexts (e.g. an address used in a comparison).
+        if isinstance(stmt, Assign):
+            src = self._expr(stmt.expr)
+            self.sys.copy(self.sys.node_of_var(stmt.target), src)
+        elif isinstance(stmt, Store):
+            addr = self._expr(stmt.addr)
+            self.sys.access_nodes[stmt.addr.eid] = addr
+            value = self._expr(stmt.value)
+            self.sys.store(addr, value)
+        elif isinstance(stmt, Alloc):
+            self._expr(stmt.count)
+            obj = self.sys.object_of_alloc(stmt)
+            self.sys.addr(self.sys.node_of_var(stmt.target), obj)
+        elif isinstance(stmt, Call):
+            callee = self.module.functions.get(stmt.callee)
+            for i, arg in enumerate(stmt.args):
+                arg_node = self._expr(arg)
+                if callee is not None and i < len(callee.params):
+                    self.sys.copy(self.sys.node_of_var(callee.params[i]), arg_node)
+            if stmt.result is not None:
+                self.sys.copy(
+                    self.sys.node_of_var(stmt.result), self.sys.ret_node(stmt.callee)
+                )
+        elif isinstance(stmt, Return):
+            if stmt.expr is not None:
+                value = self._expr(stmt.expr)
+                self.sys.copy(self.sys.ret_node(fn.name), value)
+        elif isinstance(stmt, ConditionalReload):
+            self._expr(stmt.store_addr)
+            home = self._expr(stmt.home_addr)
+            loaded = self.sys.new_node(f"condreload#{stmt.sid}")
+            self.sys.load(loaded, home)
+            self.sys.copy(self.sys.node_of_var(stmt.temp), loaded)
+        else:
+            for e in stmt.exprs():
+                self._expr(e)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, expr: Expr) -> Node:
+        """Return a node over-approximating the pointer values of
+        ``expr``, emitting constraints along the way."""
+        if isinstance(expr, (ConstInt, ConstFloat)):
+            return self.sys.new_node("const")
+        if isinstance(expr, VarRead):
+            return self.sys.node_of_var(expr.var)
+        if isinstance(expr, AddrOf):
+            node = self.sys.new_node(f"&{expr.var.name}")
+            self.sys.addr(node, self.sys.object_of_var(expr.var))
+            return node
+        if isinstance(expr, Load):
+            addr = self._expr(expr.addr)
+            self.sys.access_nodes[expr.addr.eid] = addr
+            result = self.sys.new_node(f"load#{expr.eid}")
+            self.sys.load(result, addr)
+            return result
+        if isinstance(expr, BinOp):
+            left = self._expr(expr.left)
+            right = self._expr(expr.right)
+            if not expr.type.is_pointer:
+                return self.sys.new_node("scalar")
+            # Field/element-insensitive pointer arithmetic: the result
+            # may point wherever either pointer operand points.
+            if expr.left.type.is_pointer and expr.right.type.is_pointer:
+                both = self.sys.new_node("ptr+ptr")
+                self.sys.copy(both, left)
+                self.sys.copy(both, right)
+                return both
+            return left if expr.left.type.is_pointer else right
+        if isinstance(expr, UnOp):
+            inner = self._expr(expr.operand)
+            return inner if expr.type.is_pointer else self.sys.new_node("scalar")
+        raise IRError(f"constraint builder: unknown expression {expr!r}")
+
+
+def build_constraints(module: Module) -> ConstraintSystem:
+    """Build the module's points-to constraint system."""
+    return _Builder(module).run()

@@ -1,0 +1,63 @@
+"""Abstract memory objects.
+
+The alias analyses reason about a finite set of *memory objects*:
+
+* :class:`VarMemObject` — one per variable with a memory home (global,
+  local, param), field- and element-insensitive (an array or struct is
+  a single object);
+* :class:`HeapMemObject` — one per syntactic allocation site
+  (``alloc`` statement), the standard heap naming scheme the authors'
+  companion papers [7,8] call *allocation-site naming*.
+
+The alias *profile* attributes dynamic addresses to the same objects, so
+static points-to sets and profiled target sets are directly comparable —
+exactly what the χ_s/μ_s marking of section 3.1 requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.stmt import Alloc
+from repro.ir.symbols import Variable
+from repro.ir.types import Type
+
+_obj_ids = itertools.count(1)
+
+
+class MemObject:
+    """Base class: identity-hashable abstract memory object."""
+
+    def __init__(self, name: str) -> None:
+        self.id = next(_obj_ids)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class VarMemObject(MemObject):
+    """The memory of one named variable."""
+
+    def __init__(self, var: Variable) -> None:
+        super().__init__(var.name)
+        self.var = var
+
+    @property
+    def declared_type(self) -> Type:
+        return self.var.type
+
+
+class HeapMemObject(MemObject):
+    """All memory allocated at one ``alloc`` site."""
+
+    def __init__(self, alloc: Alloc) -> None:
+        super().__init__(f"heap@{alloc.sid}")
+        self.alloc = alloc
+
+    @property
+    def declared_type(self) -> Type:
+        return self.alloc.elem_type

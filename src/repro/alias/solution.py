@@ -1,0 +1,50 @@
+"""Common result type for the points-to solvers."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.alias.constraints import ConstraintSystem, Node
+from repro.alias.memobj import MemObject
+
+
+class PointsToSolution:
+    """Solved points-to sets.
+
+    ``points_to(node)`` gives the set of abstract objects a node's value
+    may reference.  ``points_to_access(eid)`` answers for a recorded
+    indirect access address (a ``Load.addr``/``Store.addr`` expression).
+    """
+
+    def __init__(
+        self,
+        system: ConstraintSystem,
+        resolve: Callable[[Node], frozenset[MemObject]],
+        analysis_name: str,
+    ) -> None:
+        self.system = system
+        self._resolve = resolve
+        self.analysis_name = analysis_name
+        self._cache: dict[int, frozenset[MemObject]] = {}
+
+    def points_to(self, node: Node) -> frozenset[MemObject]:
+        cached = self._cache.get(node.nid)
+        if cached is None:
+            cached = self._resolve(node)
+            self._cache[node.nid] = cached
+        return cached
+
+    def points_to_access(self, eid: int) -> frozenset[MemObject]:
+        """Points-to set of the address of an indirect access, keyed by
+        the address expression's id.  Unknown accesses (never built into
+        the system) resolve to the empty set."""
+        node = self.system.access_nodes.get(eid)
+        if node is None:
+            return frozenset()
+        return self.points_to(node)
+
+    def points_to_var(self, var_id: int) -> frozenset[MemObject]:
+        node = self.system.var_nodes.get(var_id)
+        if node is None:
+            return frozenset()
+        return self.points_to(node)

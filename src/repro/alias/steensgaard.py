@@ -1,0 +1,129 @@
+"""Steensgaard equivalence-class points-to analysis (almost linear).
+
+Union-find cells with a single pointee link per class:
+
+* ``ADDR p ⊇ {o}`` — unify pointee(p) with the cell of o;
+* ``COPY p ⊇ q``   — unify pointee(p) with pointee(q);
+* ``LOAD p ⊇ *q``  — unify pointee(p) with pointee(pointee(q));
+* ``STORE *p ⊇ q`` — unify pointee(pointee(p)) with pointee(q).
+
+Unification makes points-to sets equivalence classes — coarse but fast;
+ORC's first pointer pass is of this family [24].  The coarseness is what
+leaves promotion opportunities on the table for the speculative pass to
+reclaim (and is exercised by the ablation benchmark comparing solvers).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.alias.constraints import ConstraintKind, ConstraintSystem, Node
+from repro.alias.memobj import MemObject
+from repro.alias.solution import PointsToSolution
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+        self.rank: dict[int, int] = {}
+
+    def make(self, x: int) -> None:
+        if x not in self.parent:
+            self.parent[x] = x
+            self.rank[x] = 0
+
+    def find(self, x: int) -> int:
+        self.make(x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return ra
+
+
+def solve_steensgaard(system: ConstraintSystem) -> PointsToSolution:
+    uf = _UnionFind()
+    pointee: dict[int, int] = {}  # class rep -> class (un-canonical; re-find on use)
+    class_objs: dict[int, set[int]] = defaultdict(set)  # class rep -> object ids
+    objects: dict[int, MemObject] = {o.id: o for o in system.all_objects()}
+
+    # Seed: each object's cell is the class of its contents node.
+    for obj_id, node in system.contents_nodes.items():
+        rep = uf.find(node.nid)
+        class_objs[rep].add(obj_id)
+
+    fresh_counter = [0]
+
+    def fresh_cell() -> int:
+        # Negative ids so synthetic cells never collide with node ids.
+        fresh_counter[0] += 1
+        return -fresh_counter[0]
+
+    def get_pointee(x: int) -> int:
+        rep = uf.find(x)
+        target = pointee.get(rep)
+        if target is None:
+            target = fresh_cell()
+            uf.make(target)
+            pointee[rep] = target
+        return uf.find(target)
+
+    def unify(a: int, b: int) -> None:
+        """Unify two cells and, recursively, their pointees."""
+        stack = [(a, b)]
+        while stack:
+            x, y = stack.pop()
+            rx, ry = uf.find(x), uf.find(y)
+            if rx == ry:
+                continue
+            px = pointee.pop(rx, None)
+            py = pointee.pop(ry, None)
+            root = uf.union(rx, ry)
+            merged = class_objs.pop(rx, set()) | class_objs.pop(ry, set())
+            if merged:
+                class_objs[root] |= merged
+            if px is not None and py is not None:
+                pointee[root] = px
+                stack.append((px, py))
+            elif px is not None:
+                pointee[root] = px
+            elif py is not None:
+                pointee[root] = py
+
+    for c in system.constraints:
+        if c.kind is ConstraintKind.ADDR:
+            obj = c.src
+            assert isinstance(obj, MemObject)
+            cell = system.contents_nodes[obj.id].nid
+            unify(get_pointee(c.dst.nid), cell)
+        elif c.kind is ConstraintKind.COPY:
+            assert isinstance(c.src, Node)
+            unify(get_pointee(c.dst.nid), get_pointee(c.src.nid))
+        elif c.kind is ConstraintKind.LOAD:
+            assert isinstance(c.src, Node)
+            unify(get_pointee(c.dst.nid), get_pointee(get_pointee(c.src.nid)))
+        elif c.kind is ConstraintKind.STORE:
+            assert isinstance(c.src, Node)
+            unify(get_pointee(get_pointee(c.dst.nid)), get_pointee(c.src.nid))
+
+    def resolve(node: Node) -> frozenset[MemObject]:
+        rep = uf.find(node.nid)
+        target = pointee.get(rep)
+        if target is None:
+            return frozenset()
+        target_rep = uf.find(target)
+        return frozenset(objects[oid] for oid in class_objs.get(target_rep, ()))
+
+    return PointsToSolution(system, resolve, "steensgaard")

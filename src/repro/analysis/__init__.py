@@ -1,0 +1,21 @@
+"""Classic compiler analyses: dominators, dominance frontiers, natural
+loops, liveness, and the call graph."""
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.domfrontier import compute_dominance_frontiers
+from repro.analysis.loops import Loop, LoopForest, find_natural_loops
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.callgraph import CallGraph, build_call_graph
+
+__all__ = [
+    "DominatorTree",
+    "compute_dominators",
+    "compute_dominance_frontiers",
+    "Loop",
+    "LoopForest",
+    "find_natural_loops",
+    "LivenessInfo",
+    "compute_liveness",
+    "CallGraph",
+    "build_call_graph",
+]

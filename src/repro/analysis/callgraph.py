@@ -1,0 +1,84 @@
+"""Call graph over direct calls (MiniC has no function pointers).
+
+Alias analysis uses it for a simple context-insensitive interprocedural
+mod/ref approximation, and the pipeline uses it to order per-function
+optimisation bottom-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import Call
+
+
+class CallGraph:
+    """callers/callees keyed by function name."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.callees: dict[str, set[str]] = {name: set() for name in module.functions}
+        self.callers: dict[str, set[str]] = {name: set() for name in module.functions}
+        self.call_sites: dict[str, list[Call]] = {name: [] for name in module.functions}
+
+    def add_edge(self, caller: str, callee: str, site: Call) -> None:
+        self.callees[caller].add(callee)
+        self.callers[callee].add(caller)
+        self.call_sites[caller].append(site)
+
+    def reachable_from(self, root: str = "main") -> set[str]:
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.callees:
+                continue
+            seen.add(name)
+            stack.extend(self.callees[name])
+        return seen
+
+    def bottom_up_order(self) -> list[Function]:
+        """Callees before callers; cycles (recursion) broken arbitrarily
+        but deterministically."""
+        visited: set[str] = set()
+        order: list[Function] = []
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            for callee in sorted(self.callees.get(name, ())):
+                visit(callee)
+            order.append(self.module.function(name))
+
+        for name in sorted(self.module.functions):
+            visit(name)
+        return order
+
+    def is_recursive(self, name: str) -> bool:
+        """True if ``name`` can (transitively) call itself."""
+        stack = list(self.callees.get(name, ()))
+        seen: set[str] = set()
+        while stack:
+            cur = stack.pop()
+            if cur == name:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self.callees.get(cur, ()))
+        return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.callees)
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    graph = CallGraph(module)
+    for fn in module.iter_functions():
+        for stmt in fn.iter_stmts():
+            if isinstance(stmt, Call):
+                graph.add_edge(fn.name, stmt.callee, stmt)
+    return graph

@@ -1,0 +1,61 @@
+"""Dominance frontiers (Cytron et al.), computed from the dominator tree
+with the standard two-case formulation of Cooper–Harvey–Kennedy."""
+
+from __future__ import annotations
+
+from repro.analysis.dominators import DominatorTree
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+
+
+def compute_dominance_frontiers(
+    fn: Function, domtree: DominatorTree
+) -> dict[int, list[BasicBlock]]:
+    """Map block id → its dominance frontier (deterministic order).
+
+    A block ``y`` is in DF(x) when ``x`` dominates a predecessor of ``y``
+    but does not strictly dominate ``y`` — exactly the merge points where
+    phi functions (and SSAPRE's expression Phis) must be placed.
+    """
+    df: dict[int, list[BasicBlock]] = {b.bid: [] for b in fn.blocks}
+    seen: dict[int, set[int]] = {b.bid: set() for b in fn.blocks}
+    for block in fn.blocks:
+        if len(block.preds) < 2:
+            continue
+        for pred in block.preds:
+            runner = pred
+            while runner is not None and runner is not domtree.idom(block):
+                if block.bid not in seen[runner.bid]:
+                    seen[runner.bid].add(block.bid)
+                    df[runner.bid].append(block)
+                nxt = domtree.idom(runner)
+                if nxt is runner:  # entry self-loop guard
+                    break
+                runner = nxt
+    return df
+
+
+def iterated_dominance_frontier(
+    fn: Function,
+    domtree: DominatorTree,
+    start_blocks: list[BasicBlock],
+    df: dict[int, list[BasicBlock]] | None = None,
+) -> list[BasicBlock]:
+    """DF+ — the iterated dominance frontier of a set of blocks, i.e. the
+    phi placement sites for a variable defined in ``start_blocks``."""
+    if df is None:
+        df = compute_dominance_frontiers(fn, domtree)
+    result: list[BasicBlock] = []
+    in_result: set[int] = set()
+    worklist = list(start_blocks)
+    on_list = {b.bid for b in worklist}
+    while worklist:
+        block = worklist.pop()
+        for frontier_block in df.get(block.bid, ()):
+            if frontier_block.bid not in in_result:
+                in_result.add(frontier_block.bid)
+                result.append(frontier_block)
+                if frontier_block.bid not in on_list:
+                    on_list.add(frontier_block.bid)
+                    worklist.append(frontier_block)
+    return result

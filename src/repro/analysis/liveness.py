@@ -1,0 +1,101 @@
+"""Backward liveness of variables over the CFG.
+
+Used by codegen to size register frames (which feeds the RSE model) and
+by tests as an independent oracle on promoted temporaries (a temporary
+introduced by PRE must be live from its def to every check/use).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+from repro.ir.stmt import Stmt, stmt_defines
+from repro.ir.expr import VarRead
+from repro.ir.symbols import Variable
+
+
+class LivenessInfo:
+    """live_in / live_out sets of variable ids per block."""
+
+    def __init__(
+        self,
+        live_in: dict[int, frozenset[int]],
+        live_out: dict[int, frozenset[int]],
+        use_sets: dict[int, frozenset[int]],
+        def_sets: dict[int, frozenset[int]],
+    ) -> None:
+        self.live_in = live_in
+        self.live_out = live_out
+        self.use_sets = use_sets
+        self.def_sets = def_sets
+
+    def live_into(self, block: BasicBlock) -> frozenset[int]:
+        return self.live_in.get(block.bid, frozenset())
+
+    def live_outof(self, block: BasicBlock) -> frozenset[int]:
+        return self.live_out.get(block.bid, frozenset())
+
+    def is_live_into(self, var: Variable, block: BasicBlock) -> bool:
+        return var.id in self.live_into(block)
+
+
+def _block_use_def(block: BasicBlock) -> tuple[set[int], set[int]]:
+    """Upward-exposed uses and defs of one block.
+
+    Only register-resident reads count as uses here: a VarRead of a
+    memory variable is a load, not a register use, but we still track all
+    variables so liveness can serve the promotion tests (a promoted
+    temp's VarRead is a register use by construction).
+    """
+    uses: set[int] = set()
+    defs: set[int] = set()
+    for stmt in block.stmts:
+        for expr in stmt.walk_exprs():
+            if isinstance(expr, VarRead) and expr.var.id not in defs:
+                uses.add(expr.var.id)
+        recovery = getattr(stmt, "recovery", None)
+        if recovery:
+            # chk.a recovery executes at this statement's position
+            for r in recovery:
+                for expr in r.walk_exprs():
+                    if isinstance(expr, VarRead) and expr.var.id not in defs:
+                        uses.add(expr.var.id)
+        # ConditionalReload reads its temp implicitly (may keep old value)
+        from repro.ir.stmt import ConditionalReload
+
+        if isinstance(stmt, ConditionalReload) and stmt.temp.id not in defs:
+            uses.add(stmt.temp.id)
+        target = stmt_defines(stmt)
+        if target is not None:
+            defs.add(target.id)
+    return uses, defs
+
+
+def compute_liveness(fn: Function) -> LivenessInfo:
+    """Iterative backward dataflow to a fixed point."""
+    use_sets: dict[int, frozenset[int]] = {}
+    def_sets: dict[int, frozenset[int]] = {}
+    for block in fn.blocks:
+        uses, defs = _block_use_def(block)
+        use_sets[block.bid] = frozenset(uses)
+        def_sets[block.bid] = frozenset(defs)
+
+    live_in: dict[int, frozenset[int]] = {b.bid: frozenset() for b in fn.blocks}
+    live_out: dict[int, frozenset[int]] = {b.bid: frozenset() for b in fn.blocks}
+
+    # Process in postorder (reverse of RPO) for fast convergence.
+    order = list(reversed(fn.reachable_blocks()))
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            out: set[int] = set()
+            for succ in block.successors():
+                out |= live_in[succ.bid]
+            new_out = frozenset(out)
+            new_in = use_sets[block.bid] | (new_out - def_sets[block.bid])
+            if new_out != live_out[block.bid] or new_in != live_in[block.bid]:
+                live_out[block.bid] = new_out
+                live_in[block.bid] = frozenset(new_in)
+                changed = True
+    return LivenessInfo(live_in, live_out, use_sets, def_sets)

@@ -1,0 +1,69 @@
+"""Shared exception hierarchy for the repro compiler and simulator.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: the MiniC frontend, the mid-level IR, the optimiser, the code
+generator and the machine simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SourceError(ReproError):
+    """Error in MiniC source code, carrying a source location.
+
+    Attributes:
+        line: 1-based line number of the offending token, or 0 if unknown.
+        column: 1-based column number, or 0 if unknown.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """Invalid character or malformed token in MiniC source."""
+
+
+class ParseError(SourceError):
+    """Syntax error in MiniC source."""
+
+
+class SemanticError(SourceError):
+    """Type error or symbol-resolution error in MiniC source."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected by construction or verification."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural violation (bug in a pass)."""
+
+
+class InterpError(ReproError):
+    """Runtime error while interpreting IR (bad address, div by zero...)."""
+
+
+class InterpLimitExceeded(InterpError):
+    """The interpreter hit its step budget (likely a non-terminating run)."""
+
+
+class CodegenError(ReproError):
+    """The code generator could not lower an IR construct."""
+
+
+class MachineError(ReproError):
+    """Runtime fault in the machine simulator."""
+
+
+class MachineLimitExceeded(MachineError):
+    """The simulator hit its cycle/instruction budget."""

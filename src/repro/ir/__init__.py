@@ -1,0 +1,113 @@
+"""Mid-level intermediate representation.
+
+The IR mirrors the parts of ORC's WHIRL that the paper's algorithm needs:
+a control-flow graph of basic blocks holding statements over typed
+expression trees, with explicit direct loads (:class:`VarRead`) and
+indirect loads (:class:`Load`) so that register promotion — PRE over load
+expressions — has first-class objects to operate on.
+"""
+
+from repro.ir.types import (
+    Type,
+    IntType,
+    FloatType,
+    BoolType,
+    VoidType,
+    PointerType,
+    ArrayType,
+    StructType,
+    StructField,
+    INT,
+    FLOAT,
+    BOOL,
+    VOID,
+    WORD_SIZE,
+)
+from repro.ir.symbols import Variable, StorageClass, VirtualVariable
+from repro.ir.expr import (
+    Expr,
+    ConstInt,
+    ConstFloat,
+    VarRead,
+    Load,
+    AddrOf,
+    BinOp,
+    UnOp,
+    BinOpKind,
+    UnOpKind,
+    walk_expr,
+)
+from repro.ir.stmt import (
+    Stmt,
+    Assign,
+    Store,
+    Call,
+    Alloc,
+    Print,
+    Return,
+    Jump,
+    CondBranch,
+    EvalStmt,
+    InvalidateCheck,
+    ConditionalReload,
+    SpecFlag,
+)
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import FunctionBuilder, ModuleBuilder
+from repro.ir.printer import format_module, format_function
+from repro.ir.verify import verify_module, verify_function
+
+__all__ = [
+    "Type",
+    "IntType",
+    "FloatType",
+    "BoolType",
+    "VoidType",
+    "PointerType",
+    "ArrayType",
+    "StructType",
+    "StructField",
+    "INT",
+    "FLOAT",
+    "BOOL",
+    "VOID",
+    "WORD_SIZE",
+    "Variable",
+    "StorageClass",
+    "VirtualVariable",
+    "Expr",
+    "ConstInt",
+    "ConstFloat",
+    "VarRead",
+    "Load",
+    "AddrOf",
+    "BinOp",
+    "UnOp",
+    "BinOpKind",
+    "UnOpKind",
+    "walk_expr",
+    "Stmt",
+    "Assign",
+    "Store",
+    "Call",
+    "Alloc",
+    "Print",
+    "Return",
+    "Jump",
+    "CondBranch",
+    "EvalStmt",
+    "InvalidateCheck",
+    "ConditionalReload",
+    "SpecFlag",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "FunctionBuilder",
+    "ModuleBuilder",
+    "format_module",
+    "format_function",
+    "verify_module",
+    "verify_function",
+]

@@ -1,0 +1,219 @@
+"""Fluent builders for constructing IR by hand (tests, examples).
+
+The MiniC frontend lowers through these builders too, so they are the
+single place where statements get attached to blocks.
+
+Example::
+
+    mb = ModuleBuilder("demo")
+    a = mb.global_var("a", INT, init=5)
+    fb = mb.function("main", [], INT)
+    t = fb.assign_new_temp(fb.read(a))
+    fb.ret(fb.read_temp(t))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.cfg import BasicBlock
+from repro.ir.expr import (
+    AddrOf,
+    BinOp,
+    BinOpKind,
+    ConstFloat,
+    ConstInt,
+    Expr,
+    Load,
+    UnOp,
+    UnOpKind,
+    VarRead,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import (
+    Alloc,
+    Assign,
+    Call,
+    CondBranch,
+    EvalStmt,
+    Jump,
+    Print,
+    Return,
+    Store,
+)
+from repro.ir.symbols import StorageClass, Variable
+from repro.ir.types import INT, PointerType, Type, VOID, WORD_SIZE, element_type
+
+
+def as_expr(value: Union[Expr, Variable, int, float]) -> Expr:
+    """Coerce Python values and variables to expressions."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Variable):
+        return VarRead(value)
+    if isinstance(value, bool):
+        return ConstInt(int(value))
+    if isinstance(value, int):
+        return ConstInt(value)
+    if isinstance(value, float):
+        return ConstFloat(value)
+    raise IRError(f"cannot convert {value!r} to an expression")
+
+
+class FunctionBuilder:
+    """Builds one function, tracking a current insertion block."""
+
+    def __init__(self, fn: Function, module: Optional[Module] = None) -> None:
+        self.fn = fn
+        self.module = module
+        self.current: BasicBlock = fn.new_block("entry") if not fn.blocks else fn.blocks[-1]
+
+    # -- blocks ---------------------------------------------------------
+
+    def block(self, hint: str = "bb") -> BasicBlock:
+        return self.fn.new_block(hint)
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.current = block
+        return block
+
+    # -- variables --------------------------------------------------------
+
+    def local(self, name: str, type: Type) -> Variable:
+        return self.fn.new_local(name, type)
+
+    def temp(self, type: Type, hint: str = "t") -> Variable:
+        return self.fn.new_temp(type, hint)
+
+    # -- expressions ------------------------------------------------------
+
+    def read(self, var: Variable) -> VarRead:
+        return VarRead(var)
+
+    def addr(self, var: Variable) -> AddrOf:
+        var.is_address_taken = True
+        return AddrOf(var)
+
+    def load(self, addr: Union[Expr, Variable], type: Optional[Type] = None) -> Load:
+        addr_e = as_expr(addr)
+        if type is None:
+            type = element_type(addr_e.type)
+        return Load(addr_e, type)
+
+    def binop(self, op: BinOpKind, left, right) -> BinOp:
+        return BinOp(op, as_expr(left), as_expr(right))
+
+    def add(self, left, right) -> BinOp:
+        return self.binop(BinOpKind.ADD, left, right)
+
+    def sub(self, left, right) -> BinOp:
+        return self.binop(BinOpKind.SUB, left, right)
+
+    def mul(self, left, right) -> BinOp:
+        return self.binop(BinOpKind.MUL, left, right)
+
+    def lt(self, left, right) -> BinOp:
+        return self.binop(BinOpKind.LT, left, right)
+
+    def eq(self, left, right) -> BinOp:
+        return self.binop(BinOpKind.EQ, left, right)
+
+    def index_addr(self, base: Union[Expr, Variable], index) -> Expr:
+        """Address of ``base[index]`` given a pointer ``base``."""
+        base_e = as_expr(base)
+        return BinOp(BinOpKind.ADD, base_e, as_expr(index))
+
+    def field_addr(self, base: Union[Expr, Variable], struct, field_name: str) -> Expr:
+        """Address of ``base->field`` given ``base`` pointing at struct."""
+        base_e = as_expr(base)
+        fld = struct.field(field_name)
+        offset_words = fld.offset // WORD_SIZE
+        addr = BinOp(BinOpKind.ADD, base_e, ConstInt(offset_words))
+        # Pointer arithmetic preserves the base pointer type; retype the
+        # result so loads through it see the field type.
+        addr.type = PointerType(fld.type)
+        return addr
+
+    # -- statements -------------------------------------------------------
+
+    def emit(self, stmt):
+        return self.current.append(stmt)
+
+    def assign(self, target: Variable, value) -> Assign:
+        return self.emit(Assign(target, as_expr(value)))
+
+    def assign_new_temp(self, value, hint: str = "t") -> Variable:
+        e = as_expr(value)
+        t = self.temp(e.type, hint)
+        self.emit(Assign(t, e))
+        return t
+
+    def store(self, addr, value) -> Store:
+        return self.emit(Store(as_expr(addr), as_expr(value)))
+
+    def call(self, callee: str, args: Sequence = (), result: Optional[Variable] = None) -> Call:
+        return self.emit(Call(result, callee, [as_expr(a) for a in args]))
+
+    def alloc(self, target: Variable, elem_type: Type, count) -> Alloc:
+        return self.emit(Alloc(target, elem_type, as_expr(count)))
+
+    def print_(self, value) -> Print:
+        return self.emit(Print(as_expr(value)))
+
+    def eval(self, value) -> EvalStmt:
+        return self.emit(EvalStmt(as_expr(value)))
+
+    # -- terminators --------------------------------------------------------
+
+    def ret(self, value=None) -> Return:
+        return self.emit(Return(as_expr(value) if value is not None else None))
+
+    def jump(self, target: BasicBlock) -> Jump:
+        return self.emit(Jump(target))
+
+    def branch(self, cond, then_block: BasicBlock, else_block: BasicBlock) -> CondBranch:
+        if then_block is else_block:
+            return self.emit(Jump(then_block))  # type: ignore[return-value]
+        return self.emit(CondBranch(as_expr(cond), then_block, else_block))
+
+    # -- finishing ----------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Validate termination and compute predecessor lists."""
+        for b in self.fn.blocks:
+            if not b.is_terminated:
+                raise IRError(f"block {b.label} in {self.fn.name} lacks a terminator")
+        self.fn.compute_preds()
+        return self.fn
+
+
+class ModuleBuilder:
+    """Builds a module: structs, globals and functions."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.module = Module(name)
+
+    def struct(self, name: str, fields: Optional[list[tuple[str, Type]]] = None):
+        st = self.module.declare_struct(name)
+        if fields is not None:
+            st.define(fields)
+        return st
+
+    def global_var(self, name: str, type: Type, init=None) -> Variable:
+        return self.module.add_global(name, type, init)
+
+    def function(
+        self,
+        name: str,
+        params: Optional[list[tuple[str, Type]]] = None,
+        return_type: Type = VOID,
+    ) -> FunctionBuilder:
+        param_vars = [Variable(n, t, StorageClass.PARAM) for n, t in (params or [])]
+        fn = Function(name, param_vars, return_type)
+        self.module.add_function(fn)
+        return FunctionBuilder(fn, self.module)
+
+    def finish(self) -> Module:
+        return self.module

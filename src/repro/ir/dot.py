@@ -1,0 +1,70 @@
+"""Graphviz export of control-flow graphs (debugging/teaching aid).
+
+``cfg_to_dot(fn)`` renders one function's CFG with statements in the
+node labels; speculation-flagged statements are highlighted so the
+effect of the promotion passes is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import Assign, SpecFlag
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("\n", "\\l")
+    )
+
+
+def cfg_to_dot(fn: Function, include_stmts: bool = True) -> str:
+    """Render ``fn`` as a Graphviz digraph string."""
+    lines = [
+        f'digraph "{fn.name}" {{',
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+    ]
+    for block in fn.blocks:
+        if include_stmts:
+            rows = [f"{block.label}:"]
+            for stmt in block.stmts:
+                text = str(stmt)
+                if isinstance(stmt, Assign) and stmt.spec_flag is not SpecFlag.NONE:
+                    text = f"** {text}"
+                rows.append("  " + text)
+            label = _escape("\n".join(rows)) + "\\l"
+        else:
+            label = _escape(block.label)
+        speculative = any(
+            isinstance(s, Assign) and s.spec_flag is not SpecFlag.NONE
+            for s in block.stmts
+        )
+        style = ', style=filled, fillcolor="#fff3cd"' if speculative else ""
+        lines.append(f'  bb{block.bid} [label="{label}"{style}];')
+    for block in fn.blocks:
+        for succ in block.successors():
+            lines.append(f"  bb{block.bid} -> bb{succ.bid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_dot(module: Module) -> str:
+    """All functions as one digraph with clusters."""
+    parts = ["digraph module {", '  node [shape=box, fontname="monospace", fontsize=9];']
+    for i, fn in enumerate(module.iter_functions()):
+        parts.append(f"  subgraph cluster_{i} {{")
+        parts.append(f'    label="{fn.name}";')
+        for block in fn.blocks:
+            parts.append(f'    bb{block.bid} [label="{_escape(block.label)}"];')
+        for block in fn.blocks:
+            for succ in block.successors():
+                parts.append(f"    bb{block.bid} -> bb{succ.bid};")
+        parts.append("  }")
+    parts.append("}")
+    return "\n".join(parts)

@@ -1,0 +1,84 @@
+"""Module: the translation unit — structs, globals, functions."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.symbols import StorageClass, Variable
+from repro.ir.types import StructType, Type
+
+
+class Module:
+    """A whole program.
+
+    Attributes:
+        structs: named struct types.
+        globals: global variables in declaration order.
+        global_inits: optional scalar initial values (default zero).
+        functions: functions by name; ``main`` is the entry point.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.structs: dict[str, StructType] = {}
+        self.globals: list[Variable] = []
+        self.global_inits: dict[int, Union[int, float, list]] = {}
+        self.functions: dict[str, Function] = {}
+
+    # -- structs --------------------------------------------------------
+
+    def declare_struct(self, name: str) -> StructType:
+        if name in self.structs:
+            raise IRError(f"struct {name} already declared")
+        st = StructType(name)
+        self.structs[name] = st
+        return st
+
+    def struct(self, name: str) -> StructType:
+        try:
+            return self.structs[name]
+        except KeyError:
+            raise IRError(f"unknown struct {name}") from None
+
+    # -- globals --------------------------------------------------------
+
+    def add_global(
+        self, name: str, type: Type, init: Optional[Union[int, float, list]] = None
+    ) -> Variable:
+        var = Variable(name, type, StorageClass.GLOBAL)
+        self.globals.append(var)
+        if init is not None:
+            self.global_inits[var.id] = init
+        return var
+
+    def find_global(self, name: str) -> Optional[Variable]:
+        for g in self.globals:
+            if g.name == name:
+                return g
+        return None
+
+    # -- functions ------------------------------------------------------
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise IRError(f"function {fn.name} already defined")
+        self.functions[fn.name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function {name}") from None
+
+    @property
+    def main(self) -> Function:
+        return self.function("main")
+
+    def iter_functions(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __repr__(self) -> str:
+        return f"Module({self.name!r}, {len(self.functions)} functions)"

@@ -1,0 +1,63 @@
+"""Human-readable IR dumps (used in tests and debugging).
+
+The format shows HSSA annotations when present::
+
+    bb3:
+      *(p) = t1
+        chi: a2 <- chi_s(a1), v4 <- chi(v3)
+      t2 = a  <ld.c>
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import Stmt
+
+
+def format_stmt(stmt: Stmt, indent: str = "  ") -> str:
+    lines = [f"{indent}{stmt}"]
+    if stmt.mu_list:
+        mus = ", ".join(str(m) for m in stmt.mu_list)
+        lines.append(f"{indent}  mu: {mus}")
+    if stmt.chi_list:
+        chis = ", ".join(str(c) for c in stmt.chi_list)
+        lines.append(f"{indent}  chi: {chis}")
+    recovery = getattr(stmt, "recovery", None)
+    if recovery:
+        lines.append(f"{indent}  recovery:")
+        for r in recovery:
+            lines.append(f"{indent}    {r}")
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    params = ", ".join(f"{p.type} {p.name}" for p in fn.params)
+    lines = [f"func {fn.return_type} {fn.name}({params}) {{"]
+    for block in fn.blocks:
+        preds = ",".join(p.label for p in block.preds)
+        suffix = f"    ; preds: {preds}" if preds else ""
+        lines.append(f"{block.label}:{suffix}")
+        for phi in block.phis:
+            lines.append(f"  {phi}")
+        for stmt in block.stmts:
+            lines.append(format_stmt(stmt))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines = [f"module {module.name}"]
+    for st in module.structs.values():
+        fields = "; ".join(f"{f.type} {f.name}" for f in st.fields)
+        lines.append(f"struct {st.name} {{ {fields} }}")
+    for g in module.globals:
+        init = module.global_inits.get(g.id)
+        if init is not None:
+            lines.append(f"global {g.type} {g.name} = {init}")
+        else:
+            lines.append(f"global {g.type} {g.name}")
+    for fn in module.iter_functions():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

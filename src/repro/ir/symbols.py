@@ -1,0 +1,109 @@
+"""Variables and virtual variables.
+
+A :class:`Variable` is a named storage location: a global, a function
+local, a parameter, or a compiler temporary.  Register promotion decides,
+per variable *occurrence*, whether a read comes from memory or from a
+register; temporaries created by PRE (`storage == TEMP`) never live in
+memory at all.
+
+A :class:`VirtualVariable` is the HSSA device for indirect memory: each
+alias equivalence class of indirect references gets one virtual variable,
+whose SSA versions factor the may-def/may-use information of `*p`-style
+accesses (Chow et al., CC'96; paper section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional
+
+from repro.ir.types import Type
+
+
+class StorageClass(enum.Enum):
+    """Where a variable lives."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    PARAM = "param"
+    TEMP = "temp"  # compiler temporary: register-only, no memory home
+
+
+_variable_ids = itertools.count(1)
+
+
+class Variable:
+    """A named storage location.
+
+    Identity matters: two Variable objects are different variables even if
+    their names collide (names are only for printing).  ``is_address_taken``
+    is set by the frontend/builder whenever ``&v`` occurs; address-taken
+    variables may be accessed through pointers and therefore participate
+    in alias analysis.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        type: Type,
+        storage: StorageClass,
+        is_address_taken: bool = False,
+    ) -> None:
+        self.id = next(_variable_ids)
+        self.name = name
+        self.type = type
+        self.storage = storage
+        self.is_address_taken = is_address_taken
+
+    @property
+    def is_temp(self) -> bool:
+        return self.storage is StorageClass.TEMP
+
+    @property
+    def is_global(self) -> bool:
+        return self.storage is StorageClass.GLOBAL
+
+    @property
+    def has_memory_home(self) -> bool:
+        """True if the variable occupies addressable memory.
+
+        Temporaries are register-only; everything else has a memory slot
+        (globals in the data segment, locals/params in the stack frame).
+        """
+        return self.storage is not StorageClass.TEMP
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.type}, {self.storage.value})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_virtual_ids = itertools.count(1)
+
+
+class VirtualVariable:
+    """HSSA virtual variable for a class of indirect references.
+
+    One virtual variable stands for all indirect accesses whose pointers
+    may target the same memory (as judged by the alias analysis).  Its SSA
+    versions let the Rename step detect when an indirect load `*p` must
+    see a new value because of an intervening may-aliasing store.
+
+    Attributes:
+        name: printable name, conventionally ``v<id>``.
+        group_key: opaque key identifying the alias class this virtual
+            variable factors (assigned by HSSA construction).
+    """
+
+    def __init__(self, group_key: object, name: Optional[str] = None) -> None:
+        self.id = next(_virtual_ids)
+        self.group_key = group_key
+        self.name = name if name is not None else f"v{self.id}"
+
+    def __repr__(self) -> str:
+        return f"VirtualVariable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name

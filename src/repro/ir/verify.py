@@ -1,0 +1,148 @@
+"""IR structural verifier.
+
+Run after construction and after every pass; any violation is a compiler
+bug, reported as :class:`VerificationError`.  Checks:
+
+* every block ends in exactly one terminator, and terminators appear
+  only in final position;
+* CFG edges are consistent (successor targets exist in the function,
+  predecessor lists match successor lists);
+* conditional branches have distinct targets (the frontend collapses
+  degenerate branches so phi operands map 1:1 to predecessors);
+* expressions are well-typed at statement boundaries (assign target type
+  compatible with RHS, store through pointer, branch condition boolean);
+* every variable referenced is a param, local, or global of the module;
+* speculation flags are used consistently (checks only on temporaries,
+  recovery only on chk.a).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.ir.expr import AddrOf, Load, VarRead
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import (
+    Alloc,
+    Assign,
+    CondBranch,
+    ConditionalReload,
+    InvalidateCheck,
+    Jump,
+    Return,
+    Stmt,
+    Store,
+    Terminator,
+)
+from repro.ir.types import BOOL, INT, BoolType, IntType, types_compatible
+
+
+def _fail(fn: Function, msg: str) -> None:
+    raise VerificationError(f"{fn.name}: {msg}")
+
+
+def verify_function(fn: Function, module: Module | None = None) -> None:
+    if not fn.blocks:
+        _fail(fn, "function has no blocks")
+
+    known_vars = {v.id for v in fn.all_variables()}
+    if module is not None:
+        known_vars |= {g.id for g in module.globals}
+    block_ids = {b.bid for b in fn.blocks}
+
+    for block in fn.blocks:
+        _verify_block_shape(fn, block, block_ids)
+        for stmt in block.stmts:
+            _verify_stmt(fn, stmt, known_vars)
+
+    _verify_preds(fn)
+
+
+def _verify_block_shape(fn: Function, block, block_ids: set[int]) -> None:
+    if not block.stmts:
+        _fail(fn, f"block {block.label} is empty")
+    for i, stmt in enumerate(block.stmts):
+        is_last = i == len(block.stmts) - 1
+        if isinstance(stmt, Terminator) != is_last:
+            _fail(fn, f"block {block.label}: terminator position violated at {stmt}")
+        if stmt.block is not block:
+            _fail(fn, f"block {block.label}: statement {stmt} has stale block pointer")
+    term = block.terminator
+    assert term is not None
+    for target in term.targets():
+        if target.bid not in block_ids:
+            _fail(fn, f"block {block.label} branches to foreign block {target.label}")
+    if isinstance(term, CondBranch) and term.then_block is term.else_block:
+        _fail(fn, f"block {block.label}: conditional branch with identical targets")
+
+
+def _verify_stmt(fn: Function, stmt: Stmt, known_vars: set[int]) -> None:
+    for expr in stmt.walk_exprs():
+        if isinstance(expr, (VarRead, AddrOf)) and expr.var.id not in known_vars:
+            _fail(fn, f"unknown variable {expr.var.name} in {stmt}")
+        if isinstance(expr, Load) and not expr.addr.type.is_pointer:
+            _fail(fn, f"load through non-pointer in {stmt}")
+
+    if isinstance(stmt, Assign):
+        if stmt.target.id not in known_vars:
+            _fail(fn, f"unknown assign target {stmt.target.name} in {stmt}")
+        if not _assignable(stmt.target.type, stmt.expr.type):
+            _fail(
+                fn,
+                f"type mismatch in {stmt}: {stmt.target.type} = {stmt.expr.type}",
+            )
+        if stmt.spec_flag.is_check and not stmt.target.is_temp:
+            _fail(fn, f"check flag on non-temporary in {stmt}")
+        if stmt.recovery is not None and not stmt.spec_flag.is_branching_check:
+            _fail(fn, f"recovery code without chk.a flag in {stmt}")
+    elif isinstance(stmt, Store):
+        if not stmt.addr.type.is_pointer:
+            _fail(fn, f"store through non-pointer in {stmt}")
+    elif isinstance(stmt, Alloc):
+        if stmt.target.id not in known_vars:
+            _fail(fn, f"unknown alloc target in {stmt}")
+        if not isinstance(stmt.count.type, (IntType, BoolType)):
+            _fail(fn, f"alloc count must be integer in {stmt}")
+    elif isinstance(stmt, CondBranch):
+        if not isinstance(stmt.cond.type, (BoolType, IntType)):
+            _fail(fn, f"branch condition has type {stmt.cond.type} in {stmt}")
+    elif isinstance(stmt, Return):
+        if stmt.expr is not None and not _assignable(fn.return_type, stmt.expr.type):
+            _fail(fn, f"return type mismatch in {stmt}")
+    elif isinstance(stmt, InvalidateCheck):
+        if stmt.temp.id not in known_vars:
+            _fail(fn, f"unknown temp in {stmt}")
+    elif isinstance(stmt, ConditionalReload):
+        if stmt.temp.id not in known_vars:
+            _fail(fn, f"unknown variable in {stmt}")
+        if not stmt.home_addr.type.is_pointer or not stmt.store_addr.type.is_pointer:
+            _fail(fn, f"non-pointer address in {stmt}")
+
+
+def _assignable(target_type, value_type) -> bool:
+    # bool results may be stored into ints and vice versa (comparisons
+    # feeding arithmetic); everything else must be compatible.
+    if isinstance(target_type, (IntType, BoolType)) and isinstance(
+        value_type, (IntType, BoolType)
+    ):
+        return True
+    return types_compatible(target_type, value_type)
+
+
+def _verify_preds(fn: Function) -> None:
+    expected: dict[int, list[int]] = {b.bid: [] for b in fn.blocks}
+    for b in fn.blocks:
+        for s in b.successors():
+            expected[s.bid].append(b.bid)
+    for b in fn.blocks:
+        actual = sorted(p.bid for p in b.preds)
+        if actual != sorted(expected[b.bid]):
+            _fail(fn, f"stale predecessor list on {b.label} (run compute_preds)")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in the module."""
+    if "main" not in module.functions:
+        raise VerificationError("module has no main function")
+    for fn in module.iter_functions():
+        verify_function(fn, module)

@@ -1,0 +1,36 @@
+"""Itanium-like machine simulator.
+
+Functional execution plus an in-order scoreboard timing model, with the
+three microarchitectural structures the paper's evaluation hinges on:
+
+* :mod:`alat` — the Advanced Load Address Table (entry allocation by
+  ld.a/ld.sa, store snooping with partial-address match, check
+  semantics for ld.c/chk.a, invala.e);
+* :mod:`cache` — L1/L2/memory latencies (2-cycle integer L1 hits,
+  9-cycle FP loads, as the paper discusses in section 4);
+* :mod:`rse` — the Register Stack Engine (spill/fill traffic when
+  nested frames overflow the physical stacked registers; Figure 11).
+
+Counters mirror what the authors measured with pfmon: total CPU cycles,
+data-access cycles, retired loads, check/mis-speculation counts and RSE
+cycles.
+"""
+
+from repro.machine.alat import ALAT, ALATConfig
+from repro.machine.cache import CacheHierarchy, CacheConfig
+from repro.machine.rse import RegisterStackEngine, RSEConfig
+from repro.machine.counters import Counters
+from repro.machine.cpu import Simulator, MachineConfig, MachineResult
+
+__all__ = [
+    "ALAT",
+    "ALATConfig",
+    "CacheHierarchy",
+    "CacheConfig",
+    "RegisterStackEngine",
+    "RSEConfig",
+    "Counters",
+    "Simulator",
+    "MachineConfig",
+    "MachineResult",
+]

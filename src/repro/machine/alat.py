@@ -1,0 +1,147 @@
+"""The Advanced Load Address Table.
+
+Modelled after the Itanium implementation the paper describes
+(section 2.1): a small set-associative table indexed by the target
+register number, whose entries hold the register tag, a *partial*
+physical address, and the access size.  Every store compares its
+address against all valid entries and invalidates matches
+("collisions"); checks probe by register tag.
+
+Partial addresses are a genuine Itanium cost-saving trick the paper
+calls out in section 5 — two different full addresses can share partial
+bits, producing spurious collisions.  ``partial_bits`` controls this
+(word-address bits kept; default keeps enough to make false collisions
+rare but possible, matching hardware behaviour).
+
+Register tags include the activation serial so the model mirrors
+register-stack renaming: a callee's r5 is not the caller's r5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: An entry tag: (activation serial, register number).
+RegTag = tuple[int, int]
+
+
+@dataclass
+class ALATConfig:
+    """Geometry of the table (Itanium: 32 entries, 2-way)."""
+
+    entries: int = 32
+    associativity: int = 2
+    #: bits of the word address kept in the entry
+    partial_bits: int = 20
+
+    @property
+    def sets(self) -> int:
+        return max(1, self.entries // self.associativity)
+
+
+@dataclass
+class ALATStats:
+    allocations: int = 0
+    store_collisions: int = 0  # entries invalidated by stores
+    capacity_evictions: int = 0
+    explicit_invalidations: int = 0
+    check_hits: int = 0
+    check_misses: int = 0
+
+
+@dataclass
+class _Entry:
+    tag: RegTag
+    partial_addr: int
+    lru: int
+
+
+class ALAT:
+    """Functional ALAT model."""
+
+    def __init__(self, config: Optional[ALATConfig] = None) -> None:
+        self.config = config or ALATConfig()
+        self.stats = ALATStats()
+        self._sets: list[list[_Entry]] = [[] for _ in range(self.config.sets)]
+        self._clock = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def _partial(self, addr: int) -> int:
+        return addr & ((1 << self.config.partial_bits) - 1)
+
+    def _set_index(self, tag: RegTag) -> int:
+        return tag[1] % self.config.sets
+
+    def _find(self, tag: RegTag) -> Optional[_Entry]:
+        for entry in self._sets[self._set_index(tag)]:
+            if entry.tag == tag:
+                return entry
+        return None
+
+    # -- operations ---------------------------------------------------------
+
+    def allocate(self, tag: RegTag, addr: int) -> None:
+        """ld.a / ld.sa: (re-)allocate the entry for ``tag``."""
+        self._clock += 1
+        self.stats.allocations += 1
+        bucket = self._sets[self._set_index(tag)]
+        existing = self._find(tag)
+        if existing is not None:
+            existing.partial_addr = self._partial(addr)
+            existing.lru = self._clock
+            return
+        if len(bucket) >= self.config.associativity:
+            victim = min(bucket, key=lambda e: e.lru)
+            bucket.remove(victim)
+            self.stats.capacity_evictions += 1
+        bucket.append(_Entry(tag, self._partial(addr), self._clock))
+
+    def snoop_store(self, addr: int) -> int:
+        """Every store: invalidate entries whose partial address matches.
+        Returns the number of collisions."""
+        partial = self._partial(addr)
+        removed = 0
+        for bucket in self._sets:
+            keep = []
+            for entry in bucket:
+                if entry.partial_addr == partial:
+                    removed += 1
+                else:
+                    keep.append(entry)
+            if removed:
+                bucket[:] = keep
+        if removed:
+            self.stats.store_collisions += removed
+        return removed
+
+    def check(self, tag: RegTag, clear: bool) -> bool:
+        """ld.c / chk.a probe: True when the entry survived."""
+        entry = self._find(tag)
+        if entry is None:
+            self.stats.check_misses += 1
+            return False
+        self.stats.check_hits += 1
+        if clear:
+            self._sets[self._set_index(tag)].remove(entry)
+        else:
+            self._clock += 1
+            entry.lru = self._clock
+        return True
+
+    def invalidate_entry(self, tag: RegTag) -> None:
+        """invala.e: drop one entry if present."""
+        entry = self._find(tag)
+        if entry is not None:
+            self._sets[self._set_index(tag)].remove(entry)
+        self.stats.explicit_invalidations += 1
+
+    def invalidate_all(self) -> None:
+        """invala: flush the table (also used at context boundaries)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(b) for b in self._sets)

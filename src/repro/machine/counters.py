@@ -1,0 +1,62 @@
+"""pfmon-like performance counters (the metrics of Figures 8-11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Everything the evaluation section reports, in one place."""
+
+    #: total simulated CPU cycles
+    cpu_cycles: int = 0
+    #: cycles spent waiting on data accesses (sum of load latencies)
+    data_access_cycles: int = 0
+    #: retired instructions (labels excluded)
+    instructions: int = 0
+    #: retired *real* loads: ld/ld.a/ld.sa, failed-check reloads,
+    #: predicated reloads that fired.  Successful ld.c is NOT a load.
+    retired_loads: int = 0
+    #: of which through computed addresses (indirect; Figure 9 split)
+    retired_indirect_loads: int = 0
+    retired_stores: int = 0
+    #: check instructions executed (ld.c + chk.a)
+    check_instructions: int = 0
+    #: checks that failed and had to reload / run recovery
+    check_failures: int = 0
+    #: cycles spent in chk.a recovery (branch + trap penalty included)
+    recovery_cycles: int = 0
+    #: register stack engine traffic
+    rse_cycles: int = 0
+    #: calls executed
+    calls: int = 0
+    branches: int = 0
+
+    @property
+    def misspeculation_ratio(self) -> float:
+        """Failed checks over executed checks (Figure 10)."""
+        if self.check_instructions == 0:
+            return 0.0
+        return self.check_failures / self.check_instructions
+
+    @property
+    def checks_per_load(self) -> float:
+        total = self.retired_loads + self.check_instructions
+        return self.check_instructions / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "cpu_cycles": self.cpu_cycles,
+            "data_access_cycles": self.data_access_cycles,
+            "instructions": self.instructions,
+            "retired_loads": self.retired_loads,
+            "retired_indirect_loads": self.retired_indirect_loads,
+            "retired_stores": self.retired_stores,
+            "check_instructions": self.check_instructions,
+            "check_failures": self.check_failures,
+            "recovery_cycles": self.recovery_cycles,
+            "rse_cycles": self.rse_cycles,
+            "calls": self.calls,
+            "branches": self.branches,
+        }

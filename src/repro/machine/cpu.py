@@ -1,0 +1,439 @@
+"""The machine simulator: functional execution + in-order scoreboard.
+
+Timing model
+------------
+Time advances in *slots* of 1/``issue_width`` cycle: every retired
+instruction consumes one slot, and an instruction cannot issue before
+its source registers are ready.  Result-ready times come from latencies
+(ALU 1 cycle; loads from the cache model; successful ``ld.c`` **zero**
+— the paper's "0 cycle checks").  Taken branches add a bubble, failed
+``chk.a`` pays the recovery-trap penalty, and RSE spill/fill traffic
+stalls calls/returns.  This coarse model reproduces the relationships
+the evaluation section measures — many eliminated loads → fewer
+data-access cycles → modestly fewer CPU cycles, with FP loads worth
+more — without simulating Itanium bundles.
+
+Functional semantics mirror the IR interpreter exactly (shared
+``wrap_int``/``int_div``/``format_value`` helpers), so interpreter and
+simulator outputs are directly comparable in differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import MachineError, MachineLimitExceeded
+from repro.ir.expr import BinOpKind, UnOpKind
+from repro.ir.interp import (
+    HEAP_BASE,
+    STACK_BASE,
+    format_value,
+    int_div,
+    int_mod,
+    wrap_int,
+)
+from repro.machine.alat import ALAT, ALATConfig
+from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.counters import Counters
+from repro.machine.rse import RegisterStackEngine, RSEConfig
+from repro.target.isa import (
+    AllocH,
+    Alu,
+    Br,
+    Brnz,
+    CallF,
+    ChkA,
+    InvalaE,
+    Label,
+    Ld,
+    LdC,
+    Lea,
+    LoadKind,
+    MFunction,
+    MovI,
+    Mov,
+    MProgram,
+    PredLd,
+    PrintR,
+    Region,
+    RetF,
+    St,
+    Un,
+)
+
+Value = Union[int, float]
+
+
+@dataclass
+class MachineConfig:
+    """Microarchitectural parameters."""
+
+    issue_width: int = 3
+    branch_penalty: int = 1  # cycles per taken branch
+    #: chk.a failure: light-weight trap + branch to/from recovery
+    recovery_penalty: int = 30
+    alat: ALATConfig = field(default_factory=ALATConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    rse: RSEConfig = field(default_factory=RSEConfig)
+    max_instructions: int = 200_000_000
+
+
+class MachineResult:
+    """Outcome of one simulated run."""
+
+    def __init__(
+        self,
+        exit_value: int,
+        output: list[str],
+        counters: Counters,
+        alat: ALAT,
+        cache: CacheHierarchy,
+        rse: RegisterStackEngine,
+    ) -> None:
+        self.exit_value = exit_value
+        self.output = output
+        self.counters = counters
+        self.alat_stats = alat.stats
+        self.cache_stats = cache.stats
+        self.rse_stats = rse.stats
+
+    @property
+    def output_text(self) -> str:
+        return "\n".join(self.output)
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineResult(exit={self.exit_value}, "
+            f"cycles={self.counters.cpu_cycles}, "
+            f"loads={self.counters.retired_loads})"
+        )
+
+
+class _Frame:
+    __slots__ = ("mf", "serial", "regs", "ready", "frame_base")
+
+    def __init__(self, mf: MFunction, serial: int, frame_base: int) -> None:
+        self.mf = mf
+        self.serial = serial
+        self.regs: dict[int, Value] = {}
+        self.ready: dict[int, int] = {}  # reg -> slot time
+        self.frame_base = frame_base
+
+
+class Simulator:
+    """Runs one MProgram."""
+
+    def __init__(self, program: MProgram, config: Optional[MachineConfig] = None) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.counters = Counters()
+        self.alat = ALAT(self.config.alat)
+        self.cache = CacheHierarchy(self.config.cache)
+        self.rse = RegisterStackEngine(self.config.rse)
+        self.mem: dict[int, Value] = dict(program.data)
+        self.output: list[str] = []
+        self.time = 0  # slots (1/issue_width cycles)
+        self._stack_top = STACK_BASE
+        self._heap_top = HEAP_BASE
+        self._serial = 0
+        self._w = self.config.issue_width
+        # counters split kept here (Counters holds the public subset)
+        self.retired_direct_loads = 0
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, args: Optional[list[Value]] = None) -> MachineResult:
+        main = self.program.function("main")
+        self.rse.call(main.nregs)
+        result = self._run_function(main, list(args or []))
+        self.counters.rse_cycles = self.rse.stats.rse_cycles
+        self.counters.cpu_cycles = self.time // self._w
+        exit_value = int(result) if result is not None else 0
+        return MachineResult(
+            exit_value, self.output, self.counters, self.alat, self.cache, self.rse
+        )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _charge_cycles(self, cycles: int) -> None:
+        self.time += cycles * self._w
+
+    def _fault(self, msg: str) -> None:
+        raise MachineError(msg)
+
+    def _read_reg(self, frame: _Frame, reg: int) -> Value:
+        return frame.regs.get(reg, 0)
+
+    def _load_value(self, addr: int) -> Value:
+        return self.mem.get(addr, 0)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_function(self, mf: MFunction, args: list[Value]) -> Optional[Value]:
+        self._serial += 1
+        frame = _Frame(mf, self._serial, self._stack_top)
+        self._stack_top += mf.frame_words
+        for i, arg in enumerate(args):
+            frame.regs[i] = arg
+            frame.ready[i] = self.time
+        # zero-initialise the memory frame (MiniC semantics)
+        for w in range(mf.frame_words):
+            self.mem[frame.frame_base + w] = 0
+
+        try:
+            return self._execute(frame)
+        finally:
+            for w in range(mf.frame_words):
+                self.mem.pop(frame.frame_base + w, None)
+            self._stack_top = frame.frame_base
+
+    def _execute(self, frame: _Frame) -> Optional[Value]:
+        mf = frame.mf
+        instrs = mf.instrs
+        counters = self.counters
+        pc = 0
+        w = self._w
+
+        while True:
+            if pc >= len(instrs):
+                self._fault(f"{mf.name}: fell off the end of the function")
+            instr = instrs[pc]
+            pc += 1
+            if isinstance(instr, Label):
+                continue
+
+            counters.instructions += 1
+            if counters.instructions > self.config.max_instructions:
+                raise MachineLimitExceeded(
+                    f"exceeded {self.config.max_instructions} instructions"
+                )
+
+            # issue: wait for source operands
+            start = self.time
+            for r in instr.reads():
+                t = frame.ready.get(r)
+                if t is not None and t > start:
+                    start = t
+            self.time = start + 1  # one issue slot
+
+            # execute
+            if isinstance(instr, MovI):
+                frame.regs[instr.rd] = instr.value
+                frame.ready[instr.rd] = start + w
+            elif isinstance(instr, Mov):
+                frame.regs[instr.rd] = self._read_reg(frame, instr.rs)
+                frame.ready[instr.rd] = start + w
+            elif isinstance(instr, Lea):
+                if instr.region is Region.GLOBAL:
+                    frame.regs[instr.rd] = instr.offset
+                else:
+                    frame.regs[instr.rd] = frame.frame_base + instr.offset
+                frame.ready[instr.rd] = start + w
+            elif isinstance(instr, Alu):
+                frame.regs[instr.rd] = self._alu(frame, instr)
+                # FP arithmetic has FMAC-like latency on Itanium.
+                frame.ready[instr.rd] = start + w * (4 if instr.is_float else 1)
+            elif isinstance(instr, Un):
+                frame.regs[instr.rd] = self._un(frame, instr)
+                frame.ready[instr.rd] = start + w
+            elif isinstance(instr, Ld):
+                self._do_load(frame, instr, start)
+            elif isinstance(instr, LdC):
+                self._do_check_load(frame, instr, start)
+            elif isinstance(instr, ChkA):
+                counters.check_instructions += 1
+                tag = (frame.serial, instr.rd)
+                if not self.alat.check(tag, instr.clear):
+                    counters.check_failures += 1
+                    counters.recovery_cycles += self.config.recovery_penalty
+                    self._charge_cycles(self.config.recovery_penalty)
+                    pc = mf.label_index(instr.recovery_label)
+            elif isinstance(instr, InvalaE):
+                self.alat.invalidate_entry((frame.serial, instr.rd))
+            elif isinstance(instr, St):
+                addr = self._addr(frame, instr.ra)
+                self.mem[addr] = self._read_reg(frame, instr.rs)
+                self.alat.snoop_store(addr)
+                self.cache.store_touch(addr)
+                counters.retired_stores += 1
+            elif isinstance(instr, PredLd):
+                if self._read_reg(frame, instr.rp):
+                    addr = self._addr(frame, instr.ra)
+                    frame.regs[instr.rd] = self._load_value(addr)
+                    latency = self.cache.load_latency(addr, instr.is_float)
+                    frame.ready[instr.rd] = start + w * latency
+                    counters.retired_loads += 1
+                    counters.data_access_cycles += latency
+                    if instr.indirect:
+                        counters.retired_indirect_loads += 1
+                    else:
+                        self.retired_direct_loads += 1
+            elif isinstance(instr, Br):
+                pc = mf.label_index(instr.label)
+                counters.branches += 1
+                self._charge_cycles(self.config.branch_penalty)
+            elif isinstance(instr, Brnz):
+                counters.branches += 1
+                if self._read_reg(frame, instr.rs):
+                    pc = mf.label_index(instr.label)
+                    self._charge_cycles(self.config.branch_penalty)
+            elif isinstance(instr, CallF):
+                counters.calls += 1
+                callee = self.program.function(instr.callee)
+                self.rse.call(callee.nregs)
+                call_args = [self._read_reg(frame, r) for r in instr.arg_regs]
+                result = self._run_function(callee, call_args)
+                self.rse.ret()
+                if instr.result_rd is not None:
+                    if result is None:
+                        self._fault(f"void call used as value: {instr}")
+                    frame.regs[instr.result_rd] = result
+                    frame.ready[instr.result_rd] = self.time + w
+            elif isinstance(instr, RetF):
+                if instr.rs is not None:
+                    return self._read_reg(frame, instr.rs)
+                return None
+            elif isinstance(instr, AllocH):
+                words = int(self._read_reg(frame, instr.r_words))
+                if words < 0:
+                    self._fault(f"negative allocation: {instr}")
+                base = self._heap_top
+                self._heap_top += max(1, words)
+                frame.regs[instr.rd] = base
+                frame.ready[instr.rd] = start + w
+            elif isinstance(instr, PrintR):
+                self.output.append(format_value(self._read_reg(frame, instr.rs)))
+            else:
+                self._fault(f"unknown instruction {instr!r}")
+
+    # -- memory ops -----------------------------------------------------------
+
+    def _addr(self, frame: _Frame, reg: int) -> int:
+        value = self._read_reg(frame, reg)
+        if isinstance(value, float):
+            self._fault(f"float used as address in {frame.mf.name}")
+        if value <= 0:
+            self._fault(f"invalid address {value} in {frame.mf.name}")
+        return int(value)
+
+    def _do_load(self, frame: _Frame, instr: Ld, start: int) -> None:
+        counters = self.counters
+        if instr.kind is LoadKind.SPEC_ADVANCED:
+            # ld.sa never faults: a bad address defers (NaT -> dummy 0).
+            raw = self._read_reg(frame, instr.ra)
+            if isinstance(raw, float) or raw <= 0:
+                frame.regs[instr.rd] = 0.0 if instr.is_float else 0
+                frame.ready[instr.rd] = start + self._w
+                # no ALAT entry: subsequent checks will reload
+                return
+            addr = int(raw)
+        else:
+            addr = self._addr(frame, instr.ra)
+        frame.regs[instr.rd] = self._load_value(addr)
+        latency = self.cache.load_latency(addr, instr.is_float)
+        frame.ready[instr.rd] = start + self._w * latency
+        counters.retired_loads += 1
+        counters.data_access_cycles += latency
+        if instr.indirect:
+            counters.retired_indirect_loads += 1
+        else:
+            self.retired_direct_loads += 1
+        if instr.kind in (LoadKind.ADVANCED, LoadKind.SPEC_ADVANCED):
+            self.alat.allocate((frame.serial, instr.rd), addr)
+
+    def _do_check_load(self, frame: _Frame, instr: LdC, start: int) -> None:
+        counters = self.counters
+        counters.check_instructions += 1
+        tag = (frame.serial, instr.rd)
+        if self.alat.check(tag, instr.clear):
+            # Check succeeded: zero cost, register already holds the
+            # value (the paper's "processed like no-ops").
+            return
+        counters.check_failures += 1
+        raw = self._read_reg(frame, instr.ra)
+        if isinstance(raw, float) or raw <= 0:
+            # Check reached before any advanced load ran on this path:
+            # the address register is dead; so is the result.
+            frame.regs[instr.rd] = 0.0 if instr.is_float else 0
+            return
+        addr = int(raw)
+        frame.regs[instr.rd] = self._load_value(addr)
+        latency = self.cache.load_latency(addr, instr.is_float)
+        frame.ready[instr.rd] = start + self._w * latency
+        counters.retired_loads += 1
+        counters.data_access_cycles += latency
+        if instr.indirect:
+            counters.retired_indirect_loads += 1
+        else:
+            self.retired_direct_loads += 1
+        if not instr.clear:
+            self.alat.allocate(tag, addr)
+
+    # -- ALU semantics ----------------------------------------------------------
+
+    def _alu(self, frame: _Frame, instr: Alu) -> Value:
+        lhs = self._read_reg(frame, instr.rs1)
+        if isinstance(instr.src2, tuple):
+            rhs: Value = self._read_reg(frame, instr.src2[1])
+        else:
+            rhs = instr.src2
+        op = instr.op
+        if op is BinOpKind.ADD:
+            r: Value = lhs + rhs
+        elif op is BinOpKind.SUB:
+            r = lhs - rhs
+        elif op is BinOpKind.MUL:
+            r = lhs * rhs
+        elif op is BinOpKind.DIV:
+            if isinstance(lhs, float) or isinstance(rhs, float):
+                if rhs == 0:
+                    self._fault("float division by zero")
+                r = lhs / rhs
+            else:
+                if rhs == 0:
+                    self._fault("integer division by zero")
+                r = int_div(lhs, rhs)
+        elif op is BinOpKind.MOD:
+            if rhs == 0:
+                self._fault("integer modulo by zero")
+            r = int_mod(int(lhs), int(rhs))
+        elif op is BinOpKind.EQ:
+            r = 1 if lhs == rhs else 0
+        elif op is BinOpKind.NE:
+            r = 1 if lhs != rhs else 0
+        elif op is BinOpKind.LT:
+            r = 1 if lhs < rhs else 0
+        elif op is BinOpKind.LE:
+            r = 1 if lhs <= rhs else 0
+        elif op is BinOpKind.GT:
+            r = 1 if lhs > rhs else 0
+        elif op is BinOpKind.GE:
+            r = 1 if lhs >= rhs else 0
+        else:
+            self._fault(f"unsupported ALU op {op}")
+        if isinstance(r, int):
+            r = wrap_int(r)
+        return r
+
+    def _un(self, frame: _Frame, instr: Un) -> Value:
+        v = self._read_reg(frame, instr.rs)
+        if instr.op is UnOpKind.NEG:
+            return -v if isinstance(v, float) else wrap_int(-v)
+        if instr.op is UnOpKind.NOT:
+            return 0 if v else 1
+        if instr.op is UnOpKind.I2F:
+            return float(v)
+        if instr.op is UnOpKind.F2I:
+            return wrap_int(int(v))
+        self._fault(f"unsupported unary op {instr.op}")
+        raise AssertionError  # unreachable
+
+
+def run_machine(
+    program: MProgram,
+    args: Optional[list[Value]] = None,
+    config: Optional[MachineConfig] = None,
+) -> MachineResult:
+    """Convenience wrapper."""
+    return Simulator(program, config).run(args)

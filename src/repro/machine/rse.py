@@ -1,0 +1,93 @@
+"""Register Stack Engine model (Figure 11's metric).
+
+Each call allocates the callee's register frame on the register stack;
+when the combined frames exceed the physical stacked registers, the RSE
+spills the oldest frames to the backing store (and fills them back on
+return), charging ``spill_cost`` cycles per register moved.  Register
+promotion grows frames, so the paper reports RSE cycles to show the
+extra pressure is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class RSEConfig:
+    #: physical stacked registers available (Itanium: 96)
+    physical_registers: int = 96
+    #: cycles per register spilled or filled
+    spill_cost: int = 1
+
+
+@dataclass
+class RSEStats:
+    spilled_registers: int = 0
+    filled_registers: int = 0
+    rse_cycles: int = 0
+    max_depth: int = 0
+    max_resident: int = 0
+
+
+class _Frame:
+    __slots__ = ("size", "spilled")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.spilled = 0  # registers of this frame currently in backing store
+
+
+class RegisterStackEngine:
+    def __init__(self, config: RSEConfig | None = None) -> None:
+        self.config = config or RSEConfig()
+        self.stats = RSEStats()
+        self._frames: List[_Frame] = []
+        self._resident = 0  # registers currently in physical stack
+
+    def call(self, frame_size: int) -> int:
+        """Push a frame; returns RSE cycles charged for spills."""
+        frame = _Frame(frame_size)
+        self._frames.append(frame)
+        self._resident += frame_size
+        self.stats.max_depth = max(self.stats.max_depth, len(self._frames))
+        cycles = 0
+        # Spill oldest frames' registers until the new frame fits.
+        i = 0
+        while self._resident > self.config.physical_registers and i < len(self._frames) - 1:
+            old = self._frames[i]
+            available = old.size - old.spilled
+            if available > 0:
+                need = self._resident - self.config.physical_registers
+                moved = min(available, need)
+                old.spilled += moved
+                self._resident -= moved
+                self.stats.spilled_registers += moved
+                cycles += moved * self.config.spill_cost
+            i += 1
+        self.stats.max_resident = max(self.stats.max_resident, self._resident)
+        self.stats.rse_cycles += cycles
+        return cycles
+
+    def ret(self) -> int:
+        """Pop the top frame; returns RSE cycles charged for fills."""
+        frame = self._frames.pop()
+        self._resident -= frame.size - frame.spilled
+        cycles = 0
+        # The caller's frame must be resident again; fill what was
+        # spilled, youngest-first.
+        if self._frames:
+            caller = self._frames[-1]
+            if caller.spilled > 0:
+                moved = caller.spilled
+                caller.spilled = 0
+                self._resident += moved
+                self.stats.filled_registers += moved
+                cycles += moved * self.config.spill_cost
+        self.stats.rse_cycles += cycles
+        return cycles
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,25 @@
+"""MiniC frontend.
+
+MiniC is the C subset used as the paper's "C programs with pervasive
+pointer use": int/float scalars, pointers (including pointer-to-pointer
+chains), fixed-size arrays, nominal structs, functions, globals, heap
+allocation (``alloc``), and ``print`` for observable output.
+
+Pipeline: :mod:`lexer` → :mod:`parser` (AST) → :mod:`sema` (symbol
+resolution + type checking) → :mod:`lower` (AST → mid-level IR).
+"""
+
+from repro.minic.lexer import tokenize, Token, TokenKind
+from repro.minic.parser import parse_program
+from repro.minic.sema import analyze
+from repro.minic.lower import lower_program, compile_to_ir
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "analyze",
+    "lower_program",
+    "compile_to_ir",
+]

@@ -1,0 +1,265 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry source positions for diagnostics.  Sema annotates expression
+nodes in place: ``node.type`` (an IR :class:`~repro.ir.types.Type`) and,
+for identifiers, ``node.symbol`` (the resolved declaration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass
+class Pos:
+    line: int = 0
+    column: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Type syntax (resolved to IR types by sema)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeSpec:
+    """Syntactic type: base name ('int' | 'float' | 'void' | struct name)
+    plus pointer depth.  ``is_struct`` distinguishes ``struct S`` from a
+    hypothetical scalar named S."""
+
+    base: str
+    is_struct: bool = False
+    pointer_depth: int = 0
+    pos: Pos = field(default_factory=Pos)
+
+    def __str__(self) -> str:
+        prefix = f"struct {self.base}" if self.is_struct else self.base
+        return prefix + "*" * self.pointer_depth
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class ExprNode:
+    pos: Pos
+    type: object = None  # annotated by sema (repro.ir.types.Type)
+
+
+@dataclass
+class IntLit(ExprNode):
+    value: int
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class FloatLit(ExprNode):
+    value: float
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Ident(ExprNode):
+    name: str
+    pos: Pos = field(default_factory=Pos)
+    symbol: object = None  # annotated by sema
+
+
+@dataclass
+class Unary(ExprNode):
+    """op in {'-', '!', '*', '&'}; '*' is dereference, '&' address-of."""
+
+    op: str
+    operand: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Cast(ExprNode):
+    """(int)e or (float)e."""
+
+    target: str  # 'int' | 'float'
+    operand: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Binary(ExprNode):
+    op: str
+    left: ExprNode
+    right: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Index(ExprNode):
+    """base[index]"""
+
+    base: ExprNode
+    index: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Member(ExprNode):
+    """base.field (arrow=False) or base->field (arrow=True)."""
+
+    base: ExprNode
+    field_name: str
+    arrow: bool
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class CallExpr(ExprNode):
+    callee: str
+    args: list[ExprNode] = field(default_factory=list)
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class AllocExpr(ExprNode):
+    """alloc(T, count) — zero-initialised heap allocation of count Ts."""
+
+    elem_type: TypeSpec
+    count: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class StmtNode:
+    pos: Pos
+
+
+@dataclass
+class DeclStmt(StmtNode):
+    """Local declaration: ``type name[count]? (= init)?;``."""
+
+    type_spec: TypeSpec
+    name: str
+    array_count: Optional[int] = None
+    init: Optional[ExprNode] = None
+    pos: Pos = field(default_factory=Pos)
+    symbol: object = None  # annotated by sema
+
+
+@dataclass
+class AssignStmt(StmtNode):
+    """lvalue = value;  (compound ops are desugared by the parser)."""
+
+    lvalue: ExprNode
+    value: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class ExprStmt(StmtNode):
+    expr: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class IfStmt(StmtNode):
+    cond: ExprNode
+    then_body: list[StmtNode]
+    else_body: list[StmtNode] = field(default_factory=list)
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class WhileStmt(StmtNode):
+    cond: ExprNode
+    body: list[StmtNode]
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class ForStmt(StmtNode):
+    """for (init; cond; step) body — init/step are statements or None."""
+
+    init: Optional[StmtNode]
+    cond: Optional[ExprNode]
+    step: Optional[StmtNode]
+    body: list[StmtNode] = field(default_factory=list)
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class ReturnStmt(StmtNode):
+    value: Optional[ExprNode] = None
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class BreakStmt(StmtNode):
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class ContinueStmt(StmtNode):
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class PrintStmt(StmtNode):
+    value: ExprNode
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class BlockStmt(StmtNode):
+    body: list[StmtNode] = field(default_factory=list)
+    pos: Pos = field(default_factory=Pos)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StructDecl:
+    name: str
+    #: (type, name, array_count or None) per field
+    fields: list[tuple[TypeSpec, str, Optional[int]]]
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class GlobalDecl:
+    type_spec: TypeSpec
+    name: str
+    array_count: Optional[int] = None
+    init: Optional[ExprNode] = None
+    pos: Pos = field(default_factory=Pos)
+    symbol: object = None  # annotated by sema
+
+
+@dataclass
+class Param:
+    type_spec: TypeSpec
+    name: str
+    pos: Pos = field(default_factory=Pos)
+    symbol: object = None
+
+
+@dataclass
+class FuncDef:
+    return_type: TypeSpec
+    name: str
+    params: list[Param]
+    body: list[StmtNode]
+    pos: Pos = field(default_factory=Pos)
+
+
+@dataclass
+class Program:
+    structs: list[StructDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

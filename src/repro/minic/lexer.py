@@ -1,0 +1,164 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "int",
+    "float",
+    "void",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "print",
+    "alloc",
+}
+
+# Longest-match-first punctuation.
+PUNCTUATION = [
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source, raising :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # numbers
+        if ch.isdigit():
+            start, start_line, start_col = i, line, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            is_float = False
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                is_float = True
+                advance(1)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    is_float = True
+                    advance(j - i)
+                    while i < n and source[i].isdigit():
+                        advance(1)
+            text = source[start:i]
+            kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start, start_line, start_col = i, line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # punctuation
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, col))
+                advance(len(punct))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

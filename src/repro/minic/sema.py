@@ -1,0 +1,577 @@
+"""Semantic analysis: symbol resolution and type checking.
+
+Sema annotates the AST in place (``node.type`` with IR types,
+``Ident.symbol`` with IR variables) and builds the IR module skeleton —
+struct types and global variables — that lowering fills with functions.
+
+Type rules follow C where MiniC overlaps with it:
+
+* arrays decay to element pointers in expression context;
+* pointer ± int scales by the element size (applied during lowering);
+* ``int`` converts implicitly to ``float``; ``float`` to ``int`` only via
+  an explicit cast;
+* the literal ``0`` may initialise/compare against any pointer (null);
+* aggregates are not first-class values — they are accessed through
+  pointers, indexing and member selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SemanticError
+from repro.ir.module import Module
+from repro.ir.symbols import StorageClass, Variable
+from repro.ir.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    VOID,
+    ArrayType,
+    BoolType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    types_compatible,
+)
+from repro.minic import ast as A
+
+
+@dataclass
+class FuncSig:
+    name: str
+    param_types: list[Type]
+    return_type: Type
+    defined: bool = True
+
+
+@dataclass
+class ProgramInfo:
+    """Output of sema: IR module skeleton + function signatures."""
+
+    module: Module
+    func_sigs: dict[str, FuncSig] = field(default_factory=dict)
+    program: Optional[A.Program] = None
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: dict[str, Variable] = {}
+
+    def define(self, name: str, var: Variable, pos: A.Pos) -> None:
+        if name in self.vars:
+            raise SemanticError(f"redefinition of {name!r}", pos.line, pos.column)
+        self.vars[name] = var
+
+    def lookup(self, name: str) -> Optional[Variable]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+def _is_intlike(ty: Type) -> bool:
+    return isinstance(ty, (IntType, BoolType))
+
+
+def _is_numeric(ty: Type) -> bool:
+    return _is_intlike(ty) or isinstance(ty, FloatType)
+
+
+def _is_zero_literal(node: A.ExprNode) -> bool:
+    return isinstance(node, A.IntLit) and node.value == 0
+
+
+class _Analyzer:
+    def __init__(self, program: A.Program, module_name: str) -> None:
+        self.program = program
+        self.module = Module(module_name)
+        self.func_sigs: dict[str, FuncSig] = {}
+        self.current_fn: Optional[A.FuncDef] = None
+        self.current_return: Type = VOID
+        self.loop_depth = 0
+        self.scope = _Scope()
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self) -> ProgramInfo:
+        self._declare_structs()
+        self._declare_globals()
+        self._declare_functions()
+        for fn in self.program.functions:
+            self._check_function(fn)
+        if "main" not in self.func_sigs:
+            raise SemanticError("program has no main function")
+        main = self.func_sigs["main"]
+        if not all(_is_numeric(t) or t.is_pointer for t in main.param_types):
+            raise SemanticError("main parameters must be scalars")
+        return ProgramInfo(self.module, self.func_sigs, self.program)
+
+    # -- declarations -----------------------------------------------------
+
+    def _declare_structs(self) -> None:
+        # Two passes so struct fields may point to any struct.
+        for sd in self.program.structs:
+            if sd.name in self.module.structs:
+                raise SemanticError(
+                    f"redefinition of struct {sd.name}", sd.pos.line, sd.pos.column
+                )
+            self.module.declare_struct(sd.name)
+        for sd in self.program.structs:
+            st = self.module.struct(sd.name)
+            fields = []
+            for fspec, fname, count in sd.fields:
+                ftype = self.resolve_type(fspec, allow_void=False)
+                if isinstance(ftype, StructType) and not ftype.is_defined and ftype is st:
+                    raise SemanticError(
+                        f"struct {sd.name} contains itself", sd.pos.line, sd.pos.column
+                    )
+                if count is not None:
+                    fields.append((fname, ArrayType(ftype, count)))
+                else:
+                    fields.append((fname, ftype))
+            st.define(fields)
+
+    def _declare_globals(self) -> None:
+        for gd in self.program.globals:
+            ty = self.resolve_type(gd.type_spec, allow_void=False)
+            if gd.array_count is not None:
+                ty = ArrayType(ty, gd.array_count)
+            init_value = None
+            if gd.init is not None:
+                init_value = self._const_eval(gd.init)
+                if isinstance(ty, FloatType):
+                    init_value = float(init_value)
+                elif _is_intlike(ty):
+                    if isinstance(init_value, float):
+                        raise SemanticError(
+                            "float initializer for int global", gd.pos.line, gd.pos.column
+                        )
+                elif ty.is_pointer:
+                    if init_value != 0:
+                        raise SemanticError(
+                            "pointer globals may only be initialised to 0",
+                            gd.pos.line,
+                            gd.pos.column,
+                        )
+                else:
+                    raise SemanticError(
+                        "cannot initialise aggregate global", gd.pos.line, gd.pos.column
+                    )
+            if self.scope.lookup(gd.name) is not None:
+                raise SemanticError(
+                    f"redefinition of global {gd.name}", gd.pos.line, gd.pos.column
+                )
+            var = self.module.add_global(gd.name, ty, init_value)
+            gd.symbol = var
+            self.scope.define(gd.name, var, gd.pos)
+
+    def _declare_functions(self) -> None:
+        for fn in self.program.functions:
+            if fn.name in self.func_sigs:
+                raise SemanticError(
+                    f"redefinition of function {fn.name}", fn.pos.line, fn.pos.column
+                )
+            ret = self.resolve_type(fn.return_type, allow_void=True)
+            if ret.is_aggregate:
+                raise SemanticError(
+                    "functions cannot return aggregates", fn.pos.line, fn.pos.column
+                )
+            ptypes = []
+            for p in fn.params:
+                pt = self.resolve_type(p.type_spec, allow_void=False)
+                if pt.is_aggregate:
+                    raise SemanticError(
+                        "parameters cannot be aggregates (pass a pointer)",
+                        p.pos.line,
+                        p.pos.column,
+                    )
+                ptypes.append(pt)
+            self.func_sigs[fn.name] = FuncSig(fn.name, ptypes, ret)
+
+    def resolve_type(self, spec: A.TypeSpec, allow_void: bool) -> Type:
+        if spec.is_struct:
+            if spec.base not in self.module.structs:
+                raise SemanticError(
+                    f"unknown struct {spec.base}", spec.pos.line, spec.pos.column
+                )
+            base: Type = self.module.struct(spec.base)
+        elif spec.base == "int":
+            base = INT
+        elif spec.base == "float":
+            base = FLOAT
+        elif spec.base == "void":
+            base = VOID
+        else:
+            raise SemanticError(f"unknown type {spec.base}", spec.pos.line, spec.pos.column)
+        for _ in range(spec.pointer_depth):
+            base = PointerType(base)
+        if base is VOID and not allow_void:
+            raise SemanticError("void is not a value type", spec.pos.line, spec.pos.column)
+        if isinstance(base, StructType) and spec.pointer_depth == 0:
+            # plain `struct S` value type — allowed for variables only;
+            # callers that forbid aggregates check is_aggregate.
+            pass
+        return base
+
+    def _const_eval(self, node: A.ExprNode):
+        if isinstance(node, A.IntLit):
+            return node.value
+        if isinstance(node, A.FloatLit):
+            return node.value
+        if isinstance(node, A.Unary) and node.op == "-":
+            return -self._const_eval(node.operand)
+        raise SemanticError(
+            "global initializers must be constants", node.pos.line, node.pos.column
+        )
+
+    # -- functions ----------------------------------------------------------
+
+    def _check_function(self, fn: A.FuncDef) -> None:
+        sig = self.func_sigs[fn.name]
+        self.current_fn = fn
+        self.current_return = sig.return_type
+        self.scope = _Scope(self.scope)
+        try:
+            for p, pt in zip(fn.params, sig.param_types):
+                var = Variable(p.name, pt, StorageClass.PARAM)
+                p.symbol = var
+                self.scope.define(p.name, var, p.pos)
+            self._check_body(fn.body)
+        finally:
+            assert self.scope.parent is not None
+            self.scope = self.scope.parent
+            self.current_fn = None
+
+    def _check_body(self, body: list[A.StmtNode]) -> None:
+        self.scope = _Scope(self.scope)
+        try:
+            for stmt in body:
+                self._check_stmt(stmt)
+        finally:
+            assert self.scope.parent is not None
+            self.scope = self.scope.parent
+
+    # -- statements -----------------------------------------------------------
+
+    def _check_stmt(self, stmt: A.StmtNode) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            self._check_decl(stmt)
+        elif isinstance(stmt, A.AssignStmt):
+            self._check_assign(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            ty = self.check_expr(stmt.expr)
+            if not isinstance(stmt.expr, A.CallExpr):
+                raise SemanticError(
+                    "expression statement has no effect (only calls allowed)",
+                    stmt.pos.line,
+                    stmt.pos.column,
+                )
+        elif isinstance(stmt, A.IfStmt):
+            self._check_condition(stmt.cond)
+            self._check_body(stmt.then_body)
+            self._check_body(stmt.else_body)
+        elif isinstance(stmt, A.WhileStmt):
+            self._check_condition(stmt.cond)
+            self.loop_depth += 1
+            self._check_body(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.ForStmt):
+            self.scope = _Scope(self.scope)
+            try:
+                if stmt.init is not None:
+                    self._check_stmt(stmt.init)
+                if stmt.cond is not None:
+                    self._check_condition(stmt.cond)
+                self.loop_depth += 1
+                self._check_body(stmt.body)
+                self.loop_depth -= 1
+                if stmt.step is not None:
+                    self._check_stmt(stmt.step)
+            finally:
+                assert self.scope.parent is not None
+                self.scope = self.scope.parent
+        elif isinstance(stmt, A.ReturnStmt):
+            if stmt.value is None:
+                if self.current_return is not VOID:
+                    raise SemanticError(
+                        "return without value in non-void function",
+                        stmt.pos.line,
+                        stmt.pos.column,
+                    )
+            else:
+                vt = self.check_expr(stmt.value)
+                self._require_assignable(self.current_return, vt, stmt.value, stmt.pos)
+        elif isinstance(stmt, A.BreakStmt):
+            if self.loop_depth == 0:
+                raise SemanticError("break outside loop", stmt.pos.line, stmt.pos.column)
+        elif isinstance(stmt, A.ContinueStmt):
+            if self.loop_depth == 0:
+                raise SemanticError("continue outside loop", stmt.pos.line, stmt.pos.column)
+        elif isinstance(stmt, A.PrintStmt):
+            vt = self.check_expr(stmt.value)
+            if not (_is_numeric(vt) or vt.is_pointer):
+                raise SemanticError(
+                    f"cannot print value of type {vt}", stmt.pos.line, stmt.pos.column
+                )
+        elif isinstance(stmt, A.BlockStmt):
+            self._check_body(stmt.body)
+        else:
+            raise SemanticError(f"unknown statement {stmt!r}")
+
+    def _check_decl(self, decl: A.DeclStmt) -> None:
+        ty = self.resolve_type(decl.type_spec, allow_void=False)
+        if decl.array_count is not None:
+            ty = ArrayType(ty, decl.array_count)
+        var = Variable(decl.name, ty, StorageClass.LOCAL)
+        decl.symbol = var
+        if decl.init is not None:
+            it = self.check_expr(decl.init)
+            self._require_assignable(ty, it, decl.init, decl.pos)
+        # Define after checking the initializer so `int x = x;` fails.
+        self.scope.define(decl.name, var, decl.pos)
+
+    def _check_assign(self, stmt: A.AssignStmt) -> None:
+        lt = self.check_expr(stmt.lvalue)
+        self._require_lvalue(stmt.lvalue)
+        vt = self.check_expr(stmt.value)
+        self._require_assignable(lt, vt, stmt.value, stmt.pos)
+
+    def _require_lvalue(self, node: A.ExprNode) -> None:
+        if isinstance(node, A.Ident):
+            assert isinstance(node.symbol, Variable)
+            if node.symbol.type.is_aggregate:
+                raise SemanticError(
+                    f"cannot assign to aggregate {node.name}", node.pos.line, node.pos.column
+                )
+            return
+        if isinstance(node, (A.Index, A.Member)):
+            return
+        if isinstance(node, A.Unary) and node.op == "*":
+            return
+        raise SemanticError("invalid assignment target", node.pos.line, node.pos.column)
+
+    def _check_condition(self, cond: A.ExprNode) -> None:
+        ct = self.check_expr(cond)
+        if not (_is_numeric(ct) or ct.is_pointer):
+            raise SemanticError(
+                f"condition has non-scalar type {ct}", cond.pos.line, cond.pos.column
+            )
+
+    def _require_assignable(
+        self, target: Type, value: Type, value_node: A.ExprNode, pos: A.Pos
+    ) -> None:
+        if _is_intlike(target) and _is_intlike(value):
+            return
+        if isinstance(target, FloatType) and _is_numeric(value):
+            return
+        if target.is_pointer and _is_zero_literal(value_node):
+            return
+        if types_compatible(target, value):
+            return
+        raise SemanticError(f"cannot assign {value} to {target}", pos.line, pos.column)
+
+    # -- expressions ----------------------------------------------------------
+
+    def check_expr(self, node: A.ExprNode) -> Type:
+        ty = self._check_expr_inner(node)
+        node.type = ty
+        return ty
+
+    def _check_expr_inner(self, node: A.ExprNode) -> Type:
+        if isinstance(node, A.IntLit):
+            return INT
+        if isinstance(node, A.FloatLit):
+            return FLOAT
+        if isinstance(node, A.Ident):
+            var = self.scope.lookup(node.name)
+            if var is None:
+                raise SemanticError(
+                    f"undefined variable {node.name!r}", node.pos.line, node.pos.column
+                )
+            node.symbol = var
+            if isinstance(var.type, ArrayType):
+                return PointerType(var.type.element)  # array decay
+            return var.type
+        if isinstance(node, A.Unary):
+            return self._check_unary(node)
+        if isinstance(node, A.Cast):
+            ot = self.check_expr(node.operand)
+            if not (_is_numeric(ot) or ot.is_pointer):
+                raise SemanticError(
+                    f"cannot cast {ot}", node.pos.line, node.pos.column
+                )
+            return INT if node.target == "int" else FLOAT
+        if isinstance(node, A.Binary):
+            return self._check_binary(node)
+        if isinstance(node, A.Index):
+            bt = self.check_expr(node.base)
+            it = self.check_expr(node.index)
+            if not _is_intlike(it):
+                raise SemanticError(
+                    "array index must be integer", node.pos.line, node.pos.column
+                )
+            if isinstance(bt, PointerType):
+                elem = bt.pointee
+            elif isinstance(bt, ArrayType):
+                elem = bt.element
+            else:
+                raise SemanticError(
+                    f"cannot index value of type {bt}", node.pos.line, node.pos.column
+                )
+            if isinstance(elem, ArrayType):
+                return PointerType(elem.element)  # multidim decay
+            return elem
+        if isinstance(node, A.Member):
+            return self._check_member(node)
+        if isinstance(node, A.CallExpr):
+            return self._check_call(node)
+        if isinstance(node, A.AllocExpr):
+            et = self.resolve_type(node.elem_type, allow_void=False)
+            ct = self.check_expr(node.count)
+            if not _is_intlike(ct):
+                raise SemanticError(
+                    "alloc count must be integer", node.pos.line, node.pos.column
+                )
+            return PointerType(et)
+        raise SemanticError(f"unknown expression {node!r}")
+
+    def _check_unary(self, node: A.Unary) -> Type:
+        if node.op == "&":
+            operand = node.operand
+            if not isinstance(operand, A.Ident):
+                # &a[i] and &p->f are useful; support them.
+                if isinstance(operand, (A.Index, A.Member)):
+                    inner = self.check_expr(operand)
+                    return PointerType(inner)
+                raise SemanticError(
+                    "& requires a variable, array element or field",
+                    node.pos.line,
+                    node.pos.column,
+                )
+            ot = self.check_expr(operand)
+            var = operand.symbol
+            assert isinstance(var, Variable)
+            var.is_address_taken = True
+            if isinstance(var.type, ArrayType):
+                return PointerType(var.type.element)
+            return PointerType(var.type)
+        ot = self.check_expr(node.operand)
+        if node.op == "*":
+            if isinstance(ot, PointerType):
+                return ot.pointee
+            raise SemanticError(
+                f"cannot dereference {ot}", node.pos.line, node.pos.column
+            )
+        if node.op == "-":
+            if not _is_numeric(ot):
+                raise SemanticError(f"cannot negate {ot}", node.pos.line, node.pos.column)
+            return FLOAT if isinstance(ot, FloatType) else INT
+        if node.op == "!":
+            if not (_is_numeric(ot) or ot.is_pointer):
+                raise SemanticError(
+                    f"cannot apply ! to {ot}", node.pos.line, node.pos.column
+                )
+            return BOOL
+        raise SemanticError(f"unknown unary operator {node.op}")
+
+    def _check_binary(self, node: A.Binary) -> Type:
+        lt = self.check_expr(node.left)
+        rt = self.check_expr(node.right)
+        op = node.op
+        if op in ("&&", "||"):
+            for side, ty in ((node.left, lt), (node.right, rt)):
+                if not (_is_numeric(ty) or ty.is_pointer):
+                    raise SemanticError(
+                        f"logical operand has type {ty}", side.pos.line, side.pos.column
+                    )
+            return BOOL
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if _is_numeric(lt) and _is_numeric(rt):
+                return BOOL
+            if lt.is_pointer and (rt.is_pointer or _is_zero_literal(node.right)):
+                return BOOL
+            if rt.is_pointer and _is_zero_literal(node.left):
+                return BOOL
+            raise SemanticError(
+                f"cannot compare {lt} and {rt}", node.pos.line, node.pos.column
+            )
+        if op in ("+", "-"):
+            if isinstance(lt, PointerType) and _is_intlike(rt):
+                return lt
+            if isinstance(lt, PointerType) and isinstance(rt, PointerType) and op == "-":
+                return INT
+            if op == "+" and _is_intlike(lt) and isinstance(rt, PointerType):
+                return rt
+        if op in ("+", "-", "*", "/", "%"):
+            if not (_is_numeric(lt) and _is_numeric(rt)):
+                raise SemanticError(
+                    f"invalid operands {lt} {op} {rt}", node.pos.line, node.pos.column
+                )
+            if op == "%" and (isinstance(lt, FloatType) or isinstance(rt, FloatType)):
+                raise SemanticError(
+                    "% requires integer operands", node.pos.line, node.pos.column
+                )
+            if isinstance(lt, FloatType) or isinstance(rt, FloatType):
+                return FLOAT
+            return INT
+        raise SemanticError(f"unknown binary operator {op}")
+
+    def _check_member(self, node: A.Member) -> Type:
+        bt = self.check_expr(node.base)
+        if node.arrow:
+            if not (isinstance(bt, PointerType) and isinstance(bt.pointee, StructType)):
+                raise SemanticError(
+                    f"-> requires struct pointer, got {bt}", node.pos.line, node.pos.column
+                )
+            st = bt.pointee
+        else:
+            if not isinstance(bt, StructType):
+                raise SemanticError(
+                    f". requires struct value, got {bt}", node.pos.line, node.pos.column
+                )
+            st = bt
+        if not st.has_field(node.field_name):
+            raise SemanticError(
+                f"struct {st.name} has no field {node.field_name!r}",
+                node.pos.line,
+                node.pos.column,
+            )
+        fld = st.field(node.field_name)
+        node.struct = st  # type: ignore[attr-defined]
+        node.field = fld  # type: ignore[attr-defined]
+        if isinstance(fld.type, ArrayType):
+            return PointerType(fld.type.element)
+        return fld.type
+
+    def _check_call(self, node: A.CallExpr) -> Type:
+        sig = self.func_sigs.get(node.callee)
+        if sig is None:
+            raise SemanticError(
+                f"call to undefined function {node.callee!r}",
+                node.pos.line,
+                node.pos.column,
+            )
+        if len(node.args) != len(sig.param_types):
+            raise SemanticError(
+                f"{node.callee} expects {len(sig.param_types)} arguments, "
+                f"got {len(node.args)}",
+                node.pos.line,
+                node.pos.column,
+            )
+        for arg, pt in zip(node.args, sig.param_types):
+            at = self.check_expr(arg)
+            self._require_assignable(pt, at, arg, node.pos)
+        return sig.return_type
+
+
+def analyze(program: A.Program, module_name: str = "module") -> ProgramInfo:
+    """Run semantic analysis, returning the module skeleton and
+    signatures.  Raises :class:`SemanticError` on ill-typed programs."""
+    return _Analyzer(program, module_name).run()

@@ -1,0 +1,26 @@
+"""Scalar cleanup optimisations.
+
+Run after register promotion in every mode (so comparisons between
+modes stay fair): constant folding, block-local copy/constant
+propagation over register temporaries, and dead-code elimination.
+These are the clean-up passes ORC's global optimizer would run around
+PRE; without them the promotion rewrites leave trivially foldable
+`mov`/`add 0` chains in the stream.
+
+Statements carrying speculation flags are never created, moved or
+removed here — the ALAT protocol (ld.a arming, ld.c/chk.a ordering
+relative to stores) is position-sensitive.
+"""
+
+from repro.opt.constfold import fold_constants_in_function
+from repro.opt.copyprop import propagate_copies_in_function
+from repro.opt.dce import eliminate_dead_code_in_function
+from repro.opt.driver import cleanup_function, cleanup_module
+
+__all__ = [
+    "fold_constants_in_function",
+    "propagate_copies_in_function",
+    "eliminate_dead_code_in_function",
+    "cleanup_function",
+    "cleanup_module",
+]

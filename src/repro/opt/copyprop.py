@@ -1,0 +1,169 @@
+"""Block-local copy and constant propagation over register temporaries.
+
+Bindings are created only by plain (unflagged) assignments whose RHS is
+a literal or a read of another register temporary; reads of memory
+variables are loads and are never propagated (that would change the
+program's memory traffic, which is precisely what the experiments
+measure).  Speculation-flagged assignments never create bindings —
+their value is decided at run time by the ALAT — but their address
+operands may consume bindings (the address lives in a register either
+way).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.expr import (
+    BinOp,
+    ConstFloat,
+    ConstInt,
+    Expr,
+    Load,
+    UnOp,
+    VarRead,
+)
+from repro.ir.function import Function
+from repro.ir.stmt import (
+    Alloc,
+    Assign,
+    Call,
+    CondBranch,
+    ConditionalReload,
+    EvalStmt,
+    Print,
+    Return,
+    SpecFlag,
+    Stmt,
+    Store,
+    stmt_defines,
+)
+from repro.ir.symbols import Variable
+
+Binding = Expr  # ConstInt | ConstFloat | VarRead(register temp)
+
+
+class _Env:
+    def __init__(self) -> None:
+        self.bindings: dict[int, Binding] = {}
+        # var id -> binding-target var ids that read it
+        self.readers: dict[int, set[int]] = {}
+
+    def bind(self, target: Variable, value: Binding) -> None:
+        self.kill(target.id)
+        self.bindings[target.id] = value
+        if isinstance(value, VarRead):
+            self.readers.setdefault(value.var.id, set()).add(target.id)
+
+    def kill(self, var_id: int) -> None:
+        self.bindings.pop(var_id, None)
+        for reader in self.readers.pop(var_id, ()):  # bindings reading var die
+            self.bindings.pop(reader, None)
+
+    def lookup(self, var: Variable) -> Optional[Binding]:
+        return self.bindings.get(var.id)
+
+
+def _is_register_read(expr: Expr) -> bool:
+    return isinstance(expr, VarRead) and not expr.var.has_memory_home
+
+
+def _copy_binding(value: Binding) -> Binding:
+    # each use site needs a fresh node (eids must stay unique per tree)
+    if isinstance(value, ConstInt):
+        clone = ConstInt(value.value)
+        clone.type = value.type
+        return clone
+    if isinstance(value, ConstFloat):
+        return ConstFloat(value.value)
+    assert isinstance(value, VarRead)
+    return VarRead(value.var)
+
+
+def _rewrite(expr: Expr, env: _Env) -> Expr:
+    if isinstance(expr, VarRead):
+        if not expr.var.has_memory_home:
+            binding = env.lookup(expr.var)
+            if binding is not None:
+                return _copy_binding(binding)
+        return expr
+    if isinstance(expr, Load):
+        expr.addr = _rewrite(expr.addr, env)
+        return expr
+    if isinstance(expr, BinOp):
+        expr.left = _rewrite(expr.left, env)
+        expr.right = _rewrite(expr.right, env)
+        return expr
+    if isinstance(expr, UnOp):
+        expr.operand = _rewrite(expr.operand, env)
+        return expr
+    return expr
+
+
+def _rewrite_stmt(stmt: Stmt, env: _Env) -> None:
+    if isinstance(stmt, Assign):
+        stmt.expr = _rewrite(stmt.expr, env)
+    elif isinstance(stmt, Store):
+        stmt.addr = _rewrite(stmt.addr, env)
+        stmt.value = _rewrite(stmt.value, env)
+    elif isinstance(stmt, Call):
+        stmt.args = [_rewrite(a, env) for a in stmt.args]
+    elif isinstance(stmt, Alloc):
+        stmt.count = _rewrite(stmt.count, env)
+    elif isinstance(stmt, (Print, EvalStmt)):
+        stmt.expr = _rewrite(stmt.expr, env)
+    elif isinstance(stmt, Return):
+        if stmt.expr is not None:
+            stmt.expr = _rewrite(stmt.expr, env)
+    elif isinstance(stmt, CondBranch):
+        stmt.cond = _rewrite(stmt.cond, env)
+    elif isinstance(stmt, ConditionalReload):
+        stmt.home_addr = _rewrite(stmt.home_addr, env)
+        stmt.store_addr = _rewrite(stmt.store_addr, env)
+
+
+def propagate_copies_in_function(fn: Function) -> int:
+    """Run block-local propagation; returns the number of replacements
+    performed (0 means convergence)."""
+    replaced = 0
+    for block in fn.blocks:
+        env = _Env()
+        for stmt in block.stmts:
+            before = _snapshot(stmt)
+            _rewrite_stmt(stmt, env)
+            recovery = getattr(stmt, "recovery", None)
+            if recovery:
+                # recovery executes exactly at this program point, so
+                # the same bindings hold
+                for r in recovery:
+                    _rewrite_stmt(r, env)
+            if _snapshot(stmt) != before:
+                replaced += 1
+
+            target = stmt_defines(stmt)
+            if target is not None:
+                env.kill(target.id)
+                if (
+                    isinstance(stmt, Assign)
+                    and stmt.spec_flag is SpecFlag.NONE
+                    and target.is_temp
+                    and (
+                        isinstance(stmt.expr, (ConstInt, ConstFloat))
+                        or _is_register_read(stmt.expr)
+                    )
+                    and not (
+                        isinstance(stmt.expr, VarRead)
+                        and stmt.expr.var is target
+                    )
+                ):
+                    env.bind(target, stmt.expr)
+            if recovery:
+                for r in recovery:
+                    rt = stmt_defines(r)
+                    if rt is not None:
+                        env.kill(rt.id)
+    return replaced
+
+
+def _snapshot(stmt: Stmt) -> str:
+    return str(stmt)

@@ -1,0 +1,40 @@
+"""Cleanup pipeline: fold → propagate → eliminate, to a fixed point."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verify import verify_function, verify_module
+from repro.opt.constfold import fold_constants_in_function
+from repro.opt.copyprop import propagate_copies_in_function
+from repro.opt.dce import eliminate_dead_code_in_function
+
+#: safety valve; real convergence takes 2-3 iterations
+_MAX_ITERATIONS = 6
+
+
+def cleanup_function(fn: Function, module: Module | None = None) -> int:
+    """Run the cleanup passes on one function until convergence.
+
+    Returns the total number of changes applied.  Must run *after* all
+    promotion rounds: folding replaces expression nodes, which
+    invalidates any HSSA/PRE occurrence maps built earlier.
+    """
+    total = 0
+    for _ in range(_MAX_ITERATIONS):
+        fold_constants_in_function(fn)
+        changes = propagate_copies_in_function(fn)
+        changes += eliminate_dead_code_in_function(fn)
+        total += changes
+        if changes == 0:
+            break
+    fn.compute_preds()
+    if module is not None:
+        verify_function(fn, module)
+    return total
+
+
+def cleanup_module(module: Module) -> int:
+    total = sum(cleanup_function(fn, module) for fn in module.iter_functions())
+    verify_module(module)
+    return total

@@ -1,0 +1,20 @@
+"""End-to-end compilation pipeline: MiniC source → optimised machine
+code, with the paper's compilation modes as options."""
+
+from repro.pipeline.options import CompilerOptions, OptLevel, SpecMode
+from repro.pipeline.driver import (
+    CompileOutput,
+    compile_source,
+    compile_and_run,
+    run_program,
+)
+
+__all__ = [
+    "CompilerOptions",
+    "OptLevel",
+    "SpecMode",
+    "CompileOutput",
+    "compile_source",
+    "compile_and_run",
+    "run_program",
+]

@@ -1,0 +1,204 @@
+"""End-to-end compiler driver.
+
+Pipeline per compilation::
+
+    MiniC source
+      └─ frontend (parse → sema → lower)          repro.minic
+      └─ [profile run on train input]             repro.speculation.profile
+      └─ O1: unaliased-scalar promotion           repro.pre.scalarrepl
+      └─ O2+: PRE register promotion              repro.pre
+            O2  classical
+            O3  + software-check promotion  (the paper's -O3 baseline)
+            O3 + SpecMode.PROFILE/HEURISTIC: ALAT speculation (the paper)
+      └─ code generation                           repro.target
+      └─ simulation                                repro.machine
+
+The profile must be collected on the *untransformed* module so its
+statement/expression ids line up with what the promoter consults —
+exactly like instrumenting the unoptimised binary, as the authors did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.alias.manager import AliasManager
+from repro.ir.interp import InterpResult, run_module
+from repro.ir.module import Module
+from repro.ir.stmt import Stmt, Store
+from repro.ir.verify import verify_module
+from repro.machine.cpu import MachineConfig, MachineResult, Simulator
+from repro.minic.lower import compile_to_ir
+from repro.pipeline.options import CompilerOptions, OptLevel, SpecMode
+from repro.pre.driver import FunctionPREStats, run_load_pre
+from repro.pre.scalarrepl import promote_module_scalars
+from repro.pre.ssapre import PREOptions
+from repro.speculation.heuristics import make_heuristic_decider
+from repro.speculation.profile import (
+    AliasProfile,
+    collect_alias_profile,
+    make_profile_decider,
+)
+from repro.target.codegen import generate_machine_code
+from repro.target.isa import MProgram
+
+Value = Union[int, float]
+
+
+def _all_stores_decider(stmt: Stmt, obj):
+    """The software scheme needs no prediction: every indirect-store
+    may-def is 'speculated' with the compare-and-reload repair, which
+    makes the transformation unconditionally correct [30]."""
+    return "soft" if isinstance(stmt, Store) else None
+
+
+@dataclass
+class CompileOutput:
+    """Everything one compilation produced."""
+
+    module: Module
+    program: MProgram
+    options: CompilerOptions
+    alias_manager: Optional[AliasManager] = None
+    profile: Optional[AliasProfile] = None
+    pre_stats: dict[str, FunctionPREStats] = field(default_factory=dict)
+
+    def run(self, args: Optional[list[Value]] = None) -> MachineResult:
+        """Simulate the compiled program."""
+        return Simulator(self.program, self.options.machine).run(args)
+
+    def interpret(self, args: Optional[list[Value]] = None) -> InterpResult:
+        """Run the (optimised) IR under the interpreter (oracle)."""
+        return run_module(self.module, args)
+
+    @property
+    def total_reloads(self) -> int:
+        return sum(s.reloads for s in self.pre_stats.values())
+
+    @property
+    def total_checks(self) -> int:
+        return sum(s.checks for s in self.pre_stats.values())
+
+    def reloads_by_kind(self) -> dict[str, int]:
+        out = {"direct": 0, "indirect": 0}
+        for stats in self.pre_stats.values():
+            for kind, n in stats.reloads_by_kind().items():
+                out[kind] += n
+        return out
+
+
+def compile_source(
+    source: str,
+    options: Optional[CompilerOptions] = None,
+    train_args: Optional[list[Value]] = None,
+    profile: Optional[AliasProfile] = None,
+    name: str = "program",
+) -> CompileOutput:
+    """Compile MiniC source under the given options.
+
+    ``train_args`` drive the profiling run for ``SpecMode.PROFILE`` /
+    ``SOFTWARE`` when no ready-made ``profile`` is supplied.
+    """
+    opts = options or CompilerOptions()
+    module = compile_to_ir(source, name)
+
+    needs_profile = opts.spec_mode in (SpecMode.PROFILE, SpecMode.SOFTWARE)
+    if needs_profile and profile is None:
+        profile, _ = collect_alias_profile(module, train_args)
+
+    output = CompileOutput(module, MProgram(name), opts, profile=profile)
+
+    if opts.opt_level >= OptLevel.O1:
+        promote_module_scalars(module)
+
+    if opts.opt_level >= OptLevel.O2:
+        am = AliasManager(module, opts.alias_analysis, opts.use_type_filter)
+        output.alias_manager = am
+        decider = None
+        pre_opts = PREOptions(
+            speculative=False,
+            loop_speculation=opts.loop_speculation,
+            alat_partial=opts.alat_partial,
+        )
+        if opts.opt_level >= OptLevel.O3:
+            if opts.spec_mode is SpecMode.PROFILE:
+                assert profile is not None
+                decider = make_profile_decider(profile)
+                pre_opts = PREOptions(
+                    speculative=True,
+                    loop_speculation=opts.loop_speculation,
+                    alat_partial=opts.alat_partial,
+                    softcheck=False,
+                )
+            elif opts.spec_mode is SpecMode.HEURISTIC:
+                decider = make_heuristic_decider(am)
+                pre_opts = PREOptions(
+                    speculative=True,
+                    loop_speculation=opts.loop_speculation,
+                    alat_partial=opts.alat_partial,
+                    softcheck=False,
+                )
+            elif opts.spec_mode is SpecMode.SOFTWARE:
+                assert profile is not None
+                decider = make_profile_decider(profile)
+                pre_opts = PREOptions(
+                    speculative=True,
+                    loop_speculation=opts.loop_speculation,
+                    alat_partial=False,
+                    softcheck=True,
+                    indirect_speculation=False,  # scalars only [30]
+                )
+            else:
+                # -O3 baseline: PRE with control speculation (ld.s-style
+                # loop hoisting, which ORC's conventional PRE performs)
+                # plus Nicolau software checks for the data speculation —
+                # on scalar variables only, as in ORC (section 5 notes
+                # the software scheme compares explicit addresses, which
+                # is only practical for named scalars).
+                decider = _all_stores_decider
+                pre_opts = PREOptions(
+                    speculative=True,
+                    loop_speculation=opts.loop_speculation,
+                    alat_partial=False,
+                    softcheck=True,
+                    indirect_speculation=False,
+                )
+        for fn in module.iter_functions():
+            stats = run_load_pre(
+                fn, module, am, pre_opts, spec_decider=decider, rounds=opts.rounds
+            )
+            output.pre_stats[fn.name] = stats
+        if not pre_opts.softcheck:
+            # Figure 1(c): the last check of a temp clears its entry.
+            from repro.pre.completers import select_module_completers
+
+            select_module_completers(module)
+
+    if opts.opt_level >= OptLevel.O1 and opts.cleanup:
+        from repro.opt import cleanup_module
+
+        cleanup_module(module)
+
+    verify_module(module)
+    output.program = generate_machine_code(module)
+    return output
+
+
+def compile_and_run(
+    source: str,
+    args: Optional[list[Value]] = None,
+    options: Optional[CompilerOptions] = None,
+    train_args: Optional[list[Value]] = None,
+) -> MachineResult:
+    """Compile and simulate in one call (examples/tests convenience)."""
+    output = compile_source(source, options, train_args=train_args)
+    return output.run(args)
+
+
+def run_program(
+    source: str, args: Optional[list[Value]] = None
+) -> InterpResult:
+    """Interpret a MiniC program directly (no optimisation) — the
+    reference oracle for everything else."""
+    return run_module(compile_to_ir(source), args)

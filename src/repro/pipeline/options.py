@@ -1,0 +1,73 @@
+"""Compilation options mirroring the paper's experimental modes.
+
+The paper's baseline is ORC at ``-O3``: classical PRE-based register
+promotion *plus* the software run-time disambiguation of Nicolau [30].
+The treatment adds ALAT-based alias speculation on top.  The matrix:
+
+===================  =====================================================
+``O0``               no promotion at all (codegen only)
+``O1``               unaliased-scalar promotion only
+``O2``               + classical (non-speculative) PRE register promotion
+``O3``               + software run-time checks — **the paper's baseline**
+===================  =====================================================
+
+``SpecMode.PROFILE`` / ``HEURISTIC`` add the paper's speculative
+promotion (ALAT checks) on top of the chosen level; ``SOFTWARE`` runs
+the same speculation decisions through the Nicolau-style compare/reload
+scheme instead of the ALAT (ablation B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alias.manager import AliasAnalysisKind
+from repro.machine.cpu import MachineConfig
+
+
+class OptLevel(enum.IntEnum):
+    O0 = 0
+    O1 = 1
+    O2 = 2
+    O3 = 3
+
+
+class SpecMode(enum.Enum):
+    #: no alias speculation (classical promotion only)
+    NONE = "none"
+    #: χ_s/μ_s from an alias profile (paper's main configuration)
+    PROFILE = "profile"
+    #: χ_s/μ_s from heuristic rules (no training run needed)
+    HEURISTIC = "heuristic"
+    #: profile-driven speculation lowered to software checks [30]
+    SOFTWARE = "software"
+
+
+@dataclass
+class CompilerOptions:
+    opt_level: OptLevel = OptLevel.O3
+    spec_mode: SpecMode = SpecMode.NONE
+    alias_analysis: AliasAnalysisKind = AliasAnalysisKind.ANDERSEN
+    use_type_filter: bool = True
+    #: hoist loop-invariant speculative loads (ld.sa, Figure 3)
+    loop_speculation: bool = True
+    #: invala.e scheme for partial redundancy (Figure 2)
+    alat_partial: bool = True
+    #: promotion rounds (2 enables cascaded pointer chains, section 2.4)
+    rounds: int = 1
+    #: scalar cleanup (constant folding, copy propagation, DCE) after
+    #: promotion — applied identically in every mode at O1+
+    cleanup: bool = True
+    machine: MachineConfig = field(default_factory=MachineConfig)
+
+    @property
+    def wants_speculation(self) -> bool:
+        return self.spec_mode is not SpecMode.NONE
+
+    def describe(self) -> str:
+        parts = [f"-O{int(self.opt_level)}"]
+        if self.spec_mode is not SpecMode.NONE:
+            parts.append(f"spec={self.spec_mode.value}")
+        parts.append(self.alias_analysis.value)
+        return " ".join(parts)

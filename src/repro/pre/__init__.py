@@ -1,0 +1,32 @@
+"""SSAPRE-based register promotion (Kennedy et al., TOPLAS'99).
+
+Register promotion is partial redundancy elimination over *load*
+expressions (Lo et al., PLDI'98): direct loads of aliased variables and
+indirect loads through pointers.  The classical six steps run per
+candidate lexical expression:
+
+1. Phi-insertion  — expression Phis at iterated dominance frontiers;
+2. Rename         — expression version classes from variable versions;
+3. DownSafety     — anticipation of each Phi;
+4. WillBeAvail    — availability/lateness of each Phi;
+5. Finalize       — save/reload/insert decisions;
+6. CodeMotion     — IR rewriting into temporaries.
+
+The speculative variant (paper sections 3.3–3.4) plugs into Rename
+(base-version comparison, `<speculative>` occurrence flags) and
+CodeMotion (ld.a/ld.sa leading loads, ld.c/chk.a check statements).
+"""
+
+from repro.pre.candidates import Candidate, collect_candidates
+from repro.pre.ssapre import SSAPRE, PREResult
+from repro.pre.scalarrepl import promote_unaliased_scalars
+from repro.pre.driver import run_load_pre
+
+__all__ = [
+    "Candidate",
+    "collect_candidates",
+    "SSAPRE",
+    "PREResult",
+    "promote_unaliased_scalars",
+    "run_load_pre",
+]

@@ -1,0 +1,71 @@
+"""Check-completer selection (paper Figure 1(c)).
+
+Intermediate checks of a promoted temporary must keep the ALAT entry
+alive (``ld.c.nc``); the *last* check may clear it (``ld.c.clr``) so the
+entry stops occupying one of the 32 slots.  CodeMotion emits ``.nc``
+everywhere; this pass downgrades a check to ``.clr`` when no other
+check of the same temporary — and no advanced load re-arming it — is
+reachable from it in the CFG.
+
+Correctness is unconditional either way (a cleared entry just makes a
+later check reload), so the pass only needs to be conservative enough
+not to *cause* spurious failures: reachability over the CFG, starting
+at the statement after the check, looking for any ALAT operation on the
+same temporary.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import Assign, InvalidateCheck, SpecFlag, Stmt
+
+
+def _alat_op_on(stmt: Stmt, temp_id: int) -> bool:
+    """Does ``stmt`` interact with the ALAT entry of this temporary?"""
+    if isinstance(stmt, Assign) and stmt.target.id == temp_id:
+        return stmt.spec_flag is not SpecFlag.NONE
+    if isinstance(stmt, InvalidateCheck):
+        return stmt.temp.id == temp_id
+    return False
+
+
+def _entry_needed_after(block: BasicBlock, index: int, temp_id: int) -> bool:
+    """Is any ALAT operation on ``temp_id`` reachable after position
+    ``index`` of ``block``?"""
+    for stmt in block.stmts[index + 1 :]:
+        if _alat_op_on(stmt, temp_id):
+            return True
+    seen: set[int] = set()
+    stack = list(block.successors())
+    while stack:
+        current = stack.pop()
+        if current.bid in seen:
+            continue
+        seen.add(current.bid)
+        for stmt in current.stmts:
+            if _alat_op_on(stmt, temp_id):
+                return True
+        stack.extend(current.successors())
+    return False
+
+
+def select_check_completers(fn: Function) -> int:
+    """Downgrade dead-entry ``ld.c.nc`` checks to ``ld.c`` (clear).
+    Returns the number of checks downgraded."""
+    downgraded = 0
+    for block in fn.blocks:
+        for index, stmt in enumerate(block.stmts):
+            if (
+                isinstance(stmt, Assign)
+                and stmt.spec_flag is SpecFlag.LD_C_NC
+                and not _entry_needed_after(block, index, stmt.target.id)
+            ):
+                stmt.spec_flag = SpecFlag.LD_C
+                downgraded += 1
+    return downgraded
+
+
+def select_module_completers(module: Module) -> int:
+    return sum(select_check_completers(fn) for fn in module.iter_functions())

@@ -1,0 +1,148 @@
+"""Per-function promotion driver.
+
+Order of operations for one round (paper section 3.2):
+
+1. split critical edges (so PRE insertions have a home);
+2. build HSSA with the alias manager (and the speculation decider when
+   profile/heuristic speculation is on);
+3. collect candidates;
+4. run SSAPRE per candidate, **direct candidates first** (their
+   variables appear inside indirect candidates' address expressions;
+   in-place expression rewriting keeps the shared nodes' identities so
+   the later candidates' occurrence maps stay valid);
+5. verify.
+
+The *cascade* option reruns the whole round once: loads whose addresses
+contained loads become candidates after the inner loads were promoted
+(section 2.4 / the paper's "future work" lift of its implementation
+restriction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.alias.manager import AliasManager
+from repro.analysis.loops import find_natural_loops
+from repro.ir.cfg import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verify import verify_function
+from repro.pre.candidates import CandidateKind, collect_candidates
+from repro.pre.ssapre import PREOptions, PREResult, SSAPRE
+from repro.ssa.hssa import SpecDecider, build_hssa
+
+
+def split_critical_edges(fn: Function) -> int:
+    """Split every edge whose source has multiple successors and whose
+    target has multiple predecessors.  Returns the number split."""
+    fn.compute_preds()
+    count = 0
+    # Snapshot edges first: splitting mutates the block list.
+    edges: list[tuple[BasicBlock, BasicBlock]] = []
+    for block in fn.blocks:
+        succs = block.successors()
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            if len(succ.preds) >= 2:
+                edges.append((block, succ))
+    for pred, succ in edges:
+        fn.split_edge(pred, succ)
+        count += 1
+    return count
+
+
+@dataclass
+class FunctionPREStats:
+    """Aggregated per-function promotion statistics."""
+
+    function: str
+    rounds: int = 0
+    results: list[PREResult] = field(default_factory=list)
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(r, attr) for r in self.results)
+
+    @property
+    def saves(self) -> int:
+        return self._sum("saves")
+
+    @property
+    def reloads(self) -> int:
+        return self._sum("reloads")
+
+    @property
+    def speculative_reloads(self) -> int:
+        return self._sum("speculative_reloads")
+
+    @property
+    def checks(self) -> int:
+        return self._sum("checks")
+
+    @property
+    def inserts(self) -> int:
+        return self._sum("inserts")
+
+    @property
+    def invalidates(self) -> int:
+        return self._sum("invalidates")
+
+    @property
+    def left_saves(self) -> int:
+        return self._sum("left_saves")
+
+    @property
+    def speculative_inserts(self) -> int:
+        return self._sum("speculative_inserts")
+
+    def reloads_by_kind(self) -> dict[str, int]:
+        """Eliminated loads split into direct/indirect (Figure 9)."""
+        out = {"direct": 0, "indirect": 0}
+        for r in self.results:
+            out[r.candidate.kind.value] += r.reloads
+        return out
+
+
+def run_load_pre(
+    fn: Function,
+    module: Module,
+    am: AliasManager,
+    options: Optional[PREOptions] = None,
+    spec_decider: Optional[SpecDecider] = None,
+    rounds: int = 1,
+) -> FunctionPREStats:
+    """Run ``rounds`` promotion rounds over one function."""
+    opts = options or PREOptions()
+    stats = FunctionPREStats(fn.name)
+    split_critical_edges(fn)
+    for round_index in range(max(1, rounds)):
+        round_opts = opts
+        if round_index > 0:
+            # Later rounds see the loads uncovered by earlier rewrites
+            # (outer links of pointer chains); with ALAT speculation on,
+            # they may promote across earlier-round checks — the cascade
+            # scheme of section 2.4.
+            am = AliasManager(module, am.kind, am.use_type_filter)
+            if opts.speculative and not opts.softcheck:
+                round_opts = dataclasses.replace(opts, cascade=True)
+        info = build_hssa(fn, module, am, spec_decider=spec_decider)
+        loops = find_natural_loops(fn, info.domtree)
+        candidates = collect_candidates(fn, info)
+        # direct candidates first (bottom-up expression order)
+        candidates.sort(
+            key=lambda c: 0 if c.kind is CandidateKind.DIRECT else 1
+        )
+        changed = False
+        for cand in candidates:
+            result = SSAPRE(fn, info, cand, round_opts, loops).run()
+            if result.changed or result.checks or result.invalidates:
+                stats.results.append(result)
+                changed = changed or result.changed
+        stats.rounds += 1
+        verify_function(fn, module)
+        if not changed:
+            break
+    return stats

@@ -1,0 +1,40 @@
+"""Register allocation for unaliased scalars (paper section 1, [4]).
+
+Every local scalar whose address is never taken can live in a register
+for its whole lifetime: flip its storage class to TEMP so the code
+generator gives it a register and no stack slot.  This is the cheap
+"allocate scalar variables that have no aliases within a procedure"
+baseline every optimising compiler performs; PRE then only has to fight
+for the genuinely aliased variables and indirect loads.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.symbols import StorageClass, Variable
+
+
+def promote_unaliased_scalars(fn: Function) -> list[Variable]:
+    """Flip eligible locals to TEMP storage; returns the promoted set.
+
+    Only LOCAL variables are touched: globals must remain visible across
+    functions, and parameters keep their storage class (the code
+    generator already keeps non-address-taken parameters in their
+    incoming registers).
+    """
+    promoted = []
+    for var in fn.locals:
+        if (
+            var.storage is StorageClass.LOCAL
+            and var.type.is_scalar
+            and not var.is_address_taken
+        ):
+            var.storage = StorageClass.TEMP
+            promoted.append(var)
+    return promoted
+
+
+def promote_module_scalars(module: Module) -> dict[str, list[Variable]]:
+    """Run scalar promotion over every function."""
+    return {fn.name: promote_unaliased_scalars(fn) for fn in module.iter_functions()}

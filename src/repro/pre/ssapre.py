@@ -1,0 +1,1174 @@
+"""SSAPRE over one candidate expression, with the paper's speculative
+extensions.
+
+Classical steps follow Kennedy et al. (TOPLAS'99); speculation changes
+exactly the two places the paper says it does (section 3.2):
+
+* **Rename** compares *base* versions of the candidate's value variable
+  (direct variable or HSSA virtual variable), so occurrences separated
+  only by χ_s updates land in the same class, annotated
+  ``<speculative>``;
+* **CodeMotion** emits ld.a/ld.sa-flagged saves, turns speculated-over
+  stores into ld.c check statements, and (for partially redundant loads,
+  Figure 2) uses ``invala.e`` plus ld.c-at-use instead of inserting
+  loads on cold paths.
+
+Address sub-expression versions must always match exactly — promoting
+through a modified *address* is the cascade case (section 2.4), handled
+by a separate pipeline round.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.loops import LoopForest, find_natural_loops
+from repro.errors import IRError
+from repro.ir.cfg import BasicBlock
+from repro.ir.expr import Expr, Load, VarRead, clone_expr, walk_expr
+from repro.ir.function import Function
+from repro.ir.stmt import (
+    Assign,
+    ConditionalReload,
+    InvalidateCheck,
+    Return,
+    SpecFlag,
+    Stmt,
+    Store,
+)
+from repro.ir.symbols import Variable
+from repro.pre.candidates import Candidate, CandidateKind, Occurrence
+from repro.pre.rewrite import replace_exprs_in_stmt
+from repro.ssa.hssa import ChiOperand, HSSAInfo, VarKey, compute_spec_bases
+
+
+@dataclass
+class PREOptions:
+    """Knobs for one promotion run."""
+
+    #: base-version (speculative) matching in Rename
+    speculative: bool = False
+    #: hoist non-down-safe loop-header Phis (inserted loads become ld.sa)
+    loop_speculation: bool = True
+    #: Figure 2 scheme: invala.e + ld.c-at-use for partial redundancy
+    alat_partial: bool = True
+    #: use Nicolau-style software address checks instead of ALAT checks
+    softcheck: bool = False
+    #: allow alias speculation on indirect references (*p).  The ALAT
+    #: can (the paper's headline contribution); the software scheme in
+    #: ORC's baseline only handled scalars, so the baseline runs with
+    #: this off — indirect loads then promote classically only.
+    indirect_speculation: bool = True
+    #: cascade promotion (section 2.4 / Figure 4): treat earlier-round
+    #: *check* definitions of promoted address temporaries as
+    #: speculatively transparent, and upgrade those checks to chk.a with
+    #: recovery code reloading both the address and the value.
+    cascade: bool = False
+
+
+@dataclass
+class PREResult:
+    """Statistics of one candidate's transformation."""
+
+    candidate: Candidate
+    temp: Optional[Variable] = None
+    saves: int = 0
+    reloads: int = 0
+    speculative_reloads: int = 0
+    inserts: int = 0
+    speculative_inserts: int = 0
+    checks: int = 0
+    invalidates: int = 0
+    left_saves: int = 0
+    cascade_upgrades: int = 0
+
+    @property
+    def eliminated_loads(self) -> int:
+        """Static count of load occurrences replaced by register reads."""
+        return self.reloads
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.saves or self.reloads or self.inserts or self.left_saves)
+
+
+_BOTTOM = -1
+
+
+@dataclass
+class _PhiOperand:
+    class_id: int = _BOTTOM
+    has_real_use: bool = False
+    speculative: bool = False
+    #: the Phi defining the operand's class, if any (for propagation)
+    def_phi: Optional["_ExprPhi"] = None
+    #: insertion required on this edge (set by Finalize)
+    insert: bool = False
+
+
+class _ExprPhi:
+    def __init__(self, block: BasicBlock, versions: tuple[int, ...], base_versions: tuple[int, ...]) -> None:
+        self.block = block
+        self.versions = versions
+        self.base_versions = base_versions
+        self.class_id = -1
+        #: snapshot of the predecessor list operands align with (edge
+        #: splitting during CodeMotion must not reorder lookups)
+        self.pred_blocks: list[BasicBlock] = list(block.preds)
+        self.operands: list[_PhiOperand] = [_PhiOperand() for _ in block.preds]
+        self.down_safe = True
+        self.can_be_avail = True
+        self.later = True
+        #: Figure 2 mode: value available via ALAT entry, uses become ld.c
+        self.alat_avail = False
+
+    @property
+    def will_be_avail(self) -> bool:
+        return self.can_be_avail and not self.later
+
+    def __repr__(self) -> str:
+        return f"ExprPhi(h{self.class_id}@{self.block.label})"
+
+
+class _DefKind(enum.Enum):
+    REAL = "real"
+    LEFT = "left"
+    PHI = "phi"
+
+
+@dataclass
+class _StackEntry:
+    class_id: int
+    versions: tuple[int, ...]
+    base_versions: tuple[int, ...]
+    kind: _DefKind
+    phi: Optional[_ExprPhi] = None
+    def_occ: Optional[Occurrence] = None
+    seen_real_use: bool = False
+
+
+class SSAPRE:
+    """Runs the six steps for one candidate in one function."""
+
+    def __init__(
+        self,
+        fn: Function,
+        info: HSSAInfo,
+        candidate: Candidate,
+        options: PREOptions,
+        loops: Optional[LoopForest] = None,
+    ) -> None:
+        self.fn = fn
+        self.info = info
+        self.cand = candidate
+        self.opts = options
+        self.loops = loops if loops is not None else find_natural_loops(fn, info.domtree)
+        self.keys: tuple[VarKey, ...] = candidate.addr_keys + (candidate.value_key,)
+        self.phis: dict[int, _ExprPhi] = {}  # block id -> Phi
+        self.result = PREResult(candidate)
+        # occurrence bookkeeping filled by rename
+        self._occ_class: dict[int, int] = {}  # id(occ) -> class id
+        self._occ_spec: dict[int, bool] = {}
+        self._occ_is_def: dict[int, bool] = {}
+        self._class_def: dict[int, _StackEntry] = {}
+        self._class_counter = 0
+        self._occ_by_block: dict[int, list[Occurrence]] = {}
+        for occ in candidate.occurrences:
+            block = occ.stmt.block
+            assert block is not None, f"occurrence statement detached: {occ}"
+            self._occ_by_block.setdefault(block.bid, []).append(occ)
+        # Per-candidate speculative base versions: a chi is ignorable
+        # for THIS candidate iff the store cannot touch the candidate's
+        # own target set (coarse class membership must not pessimise
+        # unrelated locations, nor let profile-dirty stores through).
+        if candidate.kind is CandidateKind.INDIRECT and options.speculative:
+            self._local_bases = compute_spec_bases(info, self._chi_ignorable)
+        else:
+            self._local_bases = None
+        # Cascade mode: earlier-round check defs of address temporaries
+        # are speculatively transparent on address keys.
+        if options.cascade and options.speculative and info.check_def_links:
+            self._addr_bases = compute_spec_bases(
+                info, lambda chi: False, extra_links=info.check_def_links
+            )
+        else:
+            self._addr_bases = None
+        for occ in candidate.occurrences:
+            occ.base_versions = tuple(
+                self._addr_base(k, v)
+                for k, v in zip(candidate.addr_keys, occ.versions[:-1])
+            ) + (self._base(occ.versions[-1]),)
+
+    def _chi_ignorable(self, chi: ChiOperand) -> bool:
+        """May THIS candidate's reuse skip over ``chi``?"""
+        if chi.key != self.cand.value_key:
+            return chi.speculative
+        om = chi.object_mechanisms
+        if om is None:
+            return False  # call or direct-def update: always real
+        # Only profile-clean ("alat") stores are ignorable: "soft" means
+        # the profile saw the store write that object, and the software
+        # compare-and-reload repair is impractical for indirect
+        # references (ORC restricted it to scalars) — the update is real.
+        return all(
+            om.get(oid, "alat") == "alat" for oid in self.cand.target_ids
+        )
+
+    def _base(self, version: int) -> int:
+        key = self.cand.value_key
+        if self._local_bases is not None:
+            return self._local_bases.get((key, version), version)
+        return self.info.base_version(key, version)
+
+    def _addr_base(self, key: VarKey, version: int) -> int:
+        if self._addr_bases is None:
+            return version
+        return self._addr_bases.get((key, version), version)
+
+    # ------------------------------------------------------------------
+    # Step 0: occurrence version vectors
+    # ------------------------------------------------------------------
+
+    def _versions_at(self, bid: int, entry: bool) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        info = self.info
+        getter = info.version_at_entry if entry else info.version_at_exit
+        versions = tuple(getter(bid, k) for k in self.keys)
+        base = [
+            self._addr_base(k, v) for k, v in zip(self.keys[:-1], versions[:-1])
+        ]
+        base.append(self._base(versions[-1]))
+        return versions, tuple(base)
+
+    # ------------------------------------------------------------------
+    # Step 1: Phi insertion
+    # ------------------------------------------------------------------
+
+    def _insert_phis(self) -> None:
+        from repro.analysis.domfrontier import compute_dominance_frontiers
+
+        df = compute_dominance_frontiers(self.fn, self.info.domtree)
+        # Seed blocks: occurrence blocks plus def blocks of every
+        # variable of the expression (conservative superset; spurious
+        # Phis die in DownSafety/WillBeAvail).
+        seeds: set[int] = set(self._occ_by_block)
+        key_set = set(self.keys)
+        for block in self.fn.blocks:
+            for stmt in block.stmts:
+                target = _stmt_def_key(stmt)
+                if target in key_set:
+                    seeds.add(block.bid)
+                for chi in stmt.chi_list:
+                    if chi.key in key_set:
+                        seeds.add(block.bid)
+            for key, _phi in self.info.block_phis(block).items():
+                if key in key_set:
+                    seeds.add(block.bid)
+
+        blocks_by_id = {b.bid: b for b in self.fn.blocks}
+        placed: set[int] = set()
+        worklist = list(seeds)
+        while worklist:
+            bid = worklist.pop()
+            for fb in df.get(bid, ()):  # type: ignore[call-overload]
+                if fb.bid in placed:
+                    continue
+                placed.add(fb.bid)
+                versions, base_versions = self._versions_at(fb.bid, entry=True)
+                self.phis[fb.bid] = _ExprPhi(fb, versions, base_versions)
+                if fb.bid not in seeds:
+                    seeds.add(fb.bid)
+                    worklist.append(fb.bid)
+
+    # ------------------------------------------------------------------
+    # Step 2: Rename
+    # ------------------------------------------------------------------
+
+    def _new_class(self) -> int:
+        self._class_counter += 1
+        return self._class_counter
+
+    def _rename(self) -> None:
+        stack: list[_StackEntry] = []
+        self._rename_block(self.fn.entry, stack)
+
+    def _match(self, entry: _StackEntry, versions: tuple[int, ...], base_versions: tuple[int, ...]) -> Optional[bool]:
+        """None = no match; False = exact match; True = speculative
+        match (value base versions equal, addresses exact)."""
+        if entry.versions == versions:
+            return False
+        if not self.opts.speculative:
+            return None
+        if (
+            self.cand.kind is CandidateKind.INDIRECT
+            and not self.opts.indirect_speculation
+        ):
+            return None
+        if (
+            entry.versions[:-1] == versions[:-1]
+            and entry.base_versions[-1] == base_versions[-1]
+        ):
+            return True
+        if self.opts.cascade and entry.base_versions == base_versions:
+            # address registers re-validated by earlier-round checks:
+            # the cascade case (chk.a recovery will repair both)
+            return True
+        return None
+
+    def _kill_check(self, stack: list[_StackEntry]) -> None:
+        """A new class is being pushed: if the superseded top is an
+        unused Phi value, a path from that Phi lacks any use."""
+        if stack and stack[-1].kind is _DefKind.PHI and not stack[-1].seen_real_use:
+            assert stack[-1].phi is not None
+            stack[-1].phi.down_safe = False
+
+    def _rename_block(self, block: BasicBlock, stack: list[_StackEntry]) -> None:
+        mark = len(stack)
+
+        phi = self.phis.get(block.bid)
+        if phi is not None:
+            self._kill_check(stack)
+            phi.class_id = self._new_class()
+            entry = _StackEntry(
+                phi.class_id,
+                phi.versions,
+                phi.base_versions,
+                _DefKind.PHI,
+                phi=phi,
+            )
+            self._class_def[phi.class_id] = entry
+            stack.append(entry)
+
+        for occ in self._occ_by_block.get(block.bid, ()):
+            # versions were precomputed at collection time
+            if occ.is_left:
+                self._kill_check(stack)
+                cid = self._new_class()
+                entry = _StackEntry(
+                    cid,
+                    occ.versions,
+                    occ.base_versions,
+                    _DefKind.LEFT,
+                    def_occ=occ,
+                    seen_real_use=True,
+                )
+                self._class_def[cid] = entry
+                stack.append(entry)
+                self._occ_class[id(occ)] = cid
+                self._occ_is_def[id(occ)] = True
+                continue
+            matched: Optional[bool] = None
+            if stack:
+                matched = self._match(stack[-1], occ.versions, occ.base_versions)
+            if matched is not None:
+                top = stack[-1]
+                self._occ_class[id(occ)] = top.class_id
+                self._occ_spec[id(occ)] = matched
+                self._occ_is_def[id(occ)] = False
+                # Push a use marker (Kennedy pushes the occurrence
+                # itself): has_real_use must be *path*-accurate, and a
+                # mutable flag on the class entry would leak uses from
+                # sibling dominator subtrees into later operands.  The
+                # marker pops with this block's scope.
+                stack.append(
+                    _StackEntry(
+                        top.class_id,
+                        occ.versions,
+                        occ.base_versions,
+                        top.kind,
+                        phi=top.phi,
+                        def_occ=top.def_occ,
+                        seen_real_use=True,
+                    )
+                )
+            else:
+                self._kill_check(stack)
+                cid = self._new_class()
+                entry = _StackEntry(
+                    cid,
+                    occ.versions,
+                    occ.base_versions,
+                    _DefKind.REAL,
+                    def_occ=occ,
+                    seen_real_use=True,
+                )
+                self._class_def[cid] = entry
+                stack.append(entry)
+                self._occ_class[id(occ)] = cid
+                self._occ_spec[id(occ)] = False
+                self._occ_is_def[id(occ)] = True
+
+        # exit detection for down-safety
+        if isinstance(block.terminator, Return) or not block.successors():
+            if stack and stack[-1].kind is _DefKind.PHI and not stack[-1].seen_real_use:
+                assert stack[-1].phi is not None
+                stack[-1].phi.down_safe = False
+
+        # expression-Phi operands of successors
+        exit_versions, exit_base = self._versions_at(block.bid, entry=False)
+        for succ in block.successors():
+            sphi = self.phis.get(succ.bid)
+            if sphi is None:
+                continue
+            pred_index = succ.preds.index(block)
+            operand = sphi.operands[pred_index]
+            if stack:
+                top = stack[-1]
+                matched = self._match(top, exit_versions, exit_base)
+                # the operand must carry the value current at block exit
+                if matched is not None:
+                    operand.class_id = top.class_id
+                    operand.has_real_use = top.seen_real_use or top.kind in (
+                        _DefKind.REAL,
+                        _DefKind.LEFT,
+                    )
+                    operand.speculative = bool(matched)
+                    operand.def_phi = top.phi if top.kind is _DefKind.PHI else None
+
+        for child in self.info.domtree.children[block.bid]:
+            self._rename_block(child, stack)
+
+        del stack[mark:]
+
+    # ------------------------------------------------------------------
+    # Step 3: DownSafety propagation
+    # ------------------------------------------------------------------
+
+    def _down_safety(self) -> None:
+        worklist = [p for p in self.phis.values() if not p.down_safe]
+        while worklist:
+            phi = worklist.pop()
+            for op in phi.operands:
+                if op.class_id is _BOTTOM or op.has_real_use:
+                    continue
+                src = op.def_phi
+                if src is not None and src.down_safe:
+                    src.down_safe = False
+                    worklist.append(src)
+        # Loop speculation: a Phi at a loop header whose only
+        # non-bottom operands come from inside the loop pattern is
+        # hoistable; treat it as down-safe but remember that insertions
+        # become control-speculative (ld.sa).
+        self._control_spec_phis: set[int] = set()
+        if self.opts.speculative and self.opts.loop_speculation:
+            for phi in self.phis.values():
+                if phi.down_safe:
+                    continue
+                loop = self.loops.loop_with_header(phi.block)
+                if loop is not None:
+                    phi.down_safe = True
+                    self._control_spec_phis.add(id(phi))
+
+    # ------------------------------------------------------------------
+    # Step 4: WillBeAvail
+    # ------------------------------------------------------------------
+
+    def _will_be_avail(self) -> None:
+        # can_be_avail
+        worklist: list[_ExprPhi] = []
+        for phi in self.phis.values():
+            if not phi.down_safe and any(
+                op.class_id is _BOTTOM for op in phi.operands
+            ):
+                phi.can_be_avail = False
+                worklist.append(phi)
+        while worklist:
+            dead = worklist.pop()
+            for phi in self.phis.values():
+                if not phi.can_be_avail or phi.down_safe:
+                    continue
+                for op in phi.operands:
+                    if op.def_phi is dead and not op.has_real_use:
+                        phi.can_be_avail = False
+                        worklist.append(phi)
+                        break
+
+        # later
+        for phi in self.phis.values():
+            phi.later = phi.can_be_avail
+        worklist = []
+        for phi in self.phis.values():
+            if phi.later and any(
+                op.class_id is not _BOTTOM and op.has_real_use
+                for op in phi.operands
+            ):
+                phi.later = False
+                worklist.append(phi)
+        while worklist:
+            ready = worklist.pop()
+            for phi in self.phis.values():
+                if not phi.later:
+                    continue
+                for op in phi.operands:
+                    if op.def_phi is ready and op.class_id is not _BOTTOM:
+                        phi.later = False
+                        worklist.append(phi)
+                        break
+
+        # Figure 2 scheme: partially redundant classes kept available
+        # through the ALAT instead of inserting on cold paths.
+        if self.opts.speculative and self.opts.alat_partial and not self.opts.softcheck:
+            for phi in self.phis.values():
+                if phi.will_be_avail:
+                    continue
+                # Value reaches this merge from real computations on some
+                # paths only (and is not down-safe enough for classical
+                # insertion): invalidate the ALAT entry at a dominating
+                # point and let ld.c at each use reload on cold paths.
+                has_real = any(
+                    op.class_id is not _BOTTOM and op.has_real_use
+                    for op in phi.operands
+                )
+                if has_real and self._invala_anchor(phi) is not None:
+                    phi.alat_avail = True
+
+    def _invala_anchor(self, phi: _ExprPhi) -> Optional[BasicBlock]:
+        """The block at whose end invala.e can be placed: the immediate
+        dominator of the Phi block, provided it strictly dominates every
+        operand definition (so the invalidation precedes every ld.a)."""
+        domtree = self.info.domtree
+        anchor = domtree.idom(phi.block)
+        if anchor is None:
+            return None
+        for op in phi.operands:
+            entry = self._class_def.get(op.class_id)
+            if entry is None:
+                continue
+            def_block = self._entry_def_block(entry)
+            if def_block is None or not domtree.strictly_dominates(anchor, def_block):
+                return None
+        return anchor
+
+    def _entry_def_block(self, entry: _StackEntry) -> Optional[BasicBlock]:
+        if entry.kind is _DefKind.PHI:
+            assert entry.phi is not None
+            return entry.phi.block
+        assert entry.def_occ is not None
+        return entry.def_occ.stmt.block
+
+    # ------------------------------------------------------------------
+    # Step 5: Finalize — availability walk (Kennedy et al., step 5)
+    # ------------------------------------------------------------------
+
+    def _finalize(self) -> None:
+        """Dominator walk with per-class availability stacks.
+
+        Determines each occurrence's role:
+
+        * ``left`` — a store making the value available;
+        * ``def``  — a computation (the class definition, or a reload
+          whose class value is *not* actually available here, e.g. its
+          class is defined by a non-will-be-avail Phi: it recomputes and
+          re-establishes availability — Kennedy's reclassification);
+        * ``reload`` — redundant; linked to the availability entry that
+          supplies the value.
+
+        Phi operands record the availability entry at their pred's exit
+        (or None → insertion needed).  Only entries that actually supply
+        a reload / used-Phi operand are marked ``needs_save``.
+        """
+        self._role: dict[int, str] = {}
+        self._occ_entry: dict[int, _AvailEntry] = {}
+        self._def_entry: dict[int, _AvailEntry] = {}
+        self._operand_entries: dict[tuple[int, int], Optional[_AvailEntry]] = {}
+        avail: dict[int, list[_AvailEntry]] = {}
+
+        self._phi_avail_entry: dict[int, _AvailEntry] = {}
+
+        def walk(block: BasicBlock) -> None:
+            pushed: list[int] = []
+
+            phi = self.phis.get(block.bid)
+            if phi is not None and (phi.will_be_avail or phi.alat_avail):
+                entry = _AvailEntry("phi", phi=phi)
+                self._phi_avail_entry[id(phi)] = entry
+                avail.setdefault(phi.class_id, []).append(entry)
+                pushed.append(phi.class_id)
+
+            for occ in self._occ_by_block.get(block.bid, ()):
+                cid = self._occ_class.get(id(occ))
+                if cid is None:
+                    continue
+                if occ.is_left:
+                    entry = _AvailEntry("left", occ=occ)
+                    self._role[id(occ)] = "left"
+                    self._def_entry[id(occ)] = entry
+                    avail.setdefault(cid, []).append(entry)
+                    pushed.append(cid)
+                elif self._occ_is_def.get(id(occ), False):
+                    entry = _AvailEntry("occ", occ=occ)
+                    self._role[id(occ)] = "def"
+                    self._def_entry[id(occ)] = entry
+                    avail.setdefault(cid, []).append(entry)
+                    pushed.append(cid)
+                else:
+                    stack = avail.get(cid)
+                    if stack:
+                        entry = stack[-1]
+                        entry.needs_save = True
+                        if self._occ_spec.get(id(occ)):
+                            entry.spec_linked = True
+                        self._role[id(occ)] = "reload"
+                        self._occ_entry[id(occ)] = entry
+                    else:
+                        # value not materialised on this path: recompute
+                        entry = _AvailEntry("occ", occ=occ)
+                        self._role[id(occ)] = "def"
+                        self._def_entry[id(occ)] = entry
+                        avail.setdefault(cid, []).append(entry)
+                        pushed.append(cid)
+
+            for succ in block.successors():
+                sphi = self.phis.get(succ.bid)
+                if sphi is None or not (sphi.will_be_avail or sphi.alat_avail):
+                    continue
+                try:
+                    idx = sphi.pred_blocks.index(block)
+                except ValueError:
+                    continue
+                op = sphi.operands[idx]
+                if op.class_id is _BOTTOM:
+                    self._operand_entries[(id(sphi), idx)] = None
+                else:
+                    stack = avail.get(op.class_id)
+                    self._operand_entries[(id(sphi), idx)] = (
+                        stack[-1] if stack else None
+                    )
+
+            for child in self.info.domtree.children[block.bid]:
+                walk(child)
+
+            for cid in reversed(pushed):
+                avail[cid].pop()
+
+        walk(self.fn.entry)
+
+        # Phi usefulness: a Phi matters iff its value reaches a reload,
+        # directly or through other used Phis' operands.
+        self._phi_used: set[int] = set()
+        worklist = [
+            e.phi
+            for e in self._occ_entry.values()
+            if e.kind == "phi" and e.phi is not None
+        ]
+        while worklist:
+            phi = worklist.pop()
+            if id(phi) in self._phi_used:
+                continue
+            self._phi_used.add(id(phi))
+            for idx, op in enumerate(phi.operands):
+                entry = self._operand_entries.get((id(phi), idx))
+                if entry is None:
+                    # value unavailable on this edge: insert (only
+                    # meaningful for will-be-avail Phis; alat Phis cover
+                    # cold edges via invala.e)
+                    op.insert = phi.will_be_avail
+                else:
+                    entry.needs_save = True
+                    if op.speculative:
+                        entry.spec_linked = True
+                    if entry.kind == "phi" and entry.phi is not None:
+                        worklist.append(entry.phi)
+
+        # Propagate spec_linked through Phi entries to their operands:
+        # a left store whose value flows into a Phi that is consumed
+        # speculatively must still arm the ALAT entry (Figure 1(b)).
+        changed = True
+        while changed:
+            changed = False
+            for phi in self.phis.values():
+                if id(phi) not in self._phi_used:
+                    continue
+                p_entry = self._phi_avail_entry.get(id(phi))
+                through = p_entry.spec_linked if p_entry is not None else False
+                if phi.alat_avail:
+                    through = True  # alat uses check this class's entry
+                for idx, op in enumerate(phi.operands):
+                    entry = self._operand_entries.get((id(phi), idx))
+                    if entry is None:
+                        continue
+                    if (op.speculative or through) and not entry.spec_linked:
+                        entry.spec_linked = True
+                        changed = True
+
+    # ------------------------------------------------------------------
+    # Step 6: CodeMotion
+    # ------------------------------------------------------------------
+
+    def run(self) -> PREResult:
+        if not any(not o.is_left for o in self.cand.occurrences):
+            return self.result
+        self._insert_phis()
+        self._rename()
+        self._down_safety()
+        self._will_be_avail()
+        self._finalize()
+        self._code_motion()
+        return self.result
+
+    # -- helpers --------------------------------------------------------
+
+    def _make_temp(self) -> Variable:
+        if self.result.temp is None:
+            hint = "pr" if self.cand.kind is CandidateKind.DIRECT else "pi"
+            self.result.temp = self.fn.new_temp(self.cand.template.type, hint)
+        return self.result.temp
+
+    def _make_addr_temp(self) -> Optional[Variable]:
+        """Dedicated register for the promoted indirect load's address.
+
+        On IA-64 the ld.c reuses the advanced load's address register;
+        recomputing the address at every check (and reloading a memory-
+        resident pointer to do it) would hand the software scheme a fake
+        advantage.  Every def of the candidate refreshes this temp, so
+        at any check site the dynamically most recent def's address —
+        exactly the right one for the live web — is in the register.
+        """
+        if self.cand.kind is not CandidateKind.INDIRECT:
+            return None
+        if self._addr_temp is None:
+            template = self.cand.template
+            assert isinstance(template, Load)
+            self._addr_temp = self.fn.new_temp(template.addr.type, "pa")
+        return self._addr_temp
+
+    def _clone_template(self) -> Expr:
+        return clone_expr(self.cand.template)
+
+    def _template_via_addr_temp(self) -> Expr:
+        """The candidate expression reading through the address temp."""
+        if self.cand.kind is CandidateKind.DIRECT or self._addr_temp is None:
+            return self._clone_template()
+        template = self.cand.template
+        assert isinstance(template, Load)
+        return Load(VarRead(self._addr_temp), template.type)
+
+    def _occ_addr_expr(self, occ: Occurrence) -> Expr:
+        """The address expression at a def occurrence (cloned)."""
+        if occ.expr is not None:
+            assert isinstance(occ.expr, Load)
+            return clone_expr(occ.expr.addr)
+        assert isinstance(occ.stmt, Store)
+        return clone_expr(occ.stmt.addr)
+
+    def _candidate_home_addr(self) -> Expr:
+        """Address of the promoted location (software checks)."""
+        from repro.ir.expr import AddrOf
+
+        if self.cand.kind is CandidateKind.DIRECT:
+            assert self.cand.var is not None
+            self.cand.var.is_address_taken = True
+            return AddrOf(self.cand.var)
+        if self._addr_temp is not None:
+            return VarRead(self._addr_temp)
+        template = self._clone_template()
+        assert isinstance(template, Load)
+        return template.addr
+
+    def _any_speculation(self) -> bool:
+        return (
+            any(
+                self._occ_spec.get(id(occ)) and self._role.get(id(occ)) == "reload"
+                for occ in self.cand.occurrences
+            )
+            or any(
+                id(phi) in self._phi_used
+                and any(op.speculative and op.class_id is not _BOTTOM for op in phi.operands)
+                for phi in self.phis.values()
+            )
+            or any(
+                id(phi) in self._phi_used and phi.alat_avail
+                for phi in self.phis.values()
+            )
+        )
+
+    def _code_motion(self) -> None:
+        check_plan = self._check_plan() if self._any_speculation() else []
+        uses_alat = (not self.opts.softcheck) and (
+            any(mech == "alat" for _stmt, mech in check_plan)
+            or any(
+                id(phi) in self._phi_used and phi.alat_avail
+                for phi in self.phis.values()
+            )
+            or any(
+                id(phi) in self._phi_used and id(phi) in self._control_spec_phis
+                for phi in self.phis.values()
+            )
+        )
+        self._addr_temp = None
+        if check_plan or uses_alat:
+            self._make_addr_temp()  # indirect candidates only; no-op else
+
+        # occurrence rewrites
+        for occ in self.cand.occurrences:
+            role = self._role.get(id(occ))
+            if role is None:
+                continue
+            if role == "left":
+                entry = self._def_entry[id(occ)]
+                if entry.needs_save:
+                    self._rewrite_left(
+                        occ, self._make_temp(), uses_alat and entry.spec_linked
+                    )
+            elif role == "def":
+                entry = self._def_entry[id(occ)]
+                if entry.needs_save:
+                    self._rewrite_save(occ, self._make_temp(), uses_alat)
+            else:  # reload
+                entry = self._occ_entry[id(occ)]
+                temp = self._make_temp()
+                if entry.kind == "phi" and entry.phi is not None and entry.phi.alat_avail:
+                    self._rewrite_alat_use(occ, temp)
+                else:
+                    self._rewrite_reload(occ, temp)
+                    if self._occ_spec.get(id(occ)):
+                        self.result.speculative_reloads += 1
+
+        # Phi-driven insertions and invalidations
+        for phi in self.phis.values():
+            if id(phi) not in self._phi_used:
+                continue
+            if phi.will_be_avail:
+                for i, op in enumerate(phi.operands):
+                    if op.insert:
+                        self._insert_on_edge(phi, i, self._make_temp(), uses_alat)
+            if phi.alat_avail:
+                temp = self._make_temp()
+                anchor = self._invala_anchor(phi)
+                assert anchor is not None
+                term = anchor.terminator
+                assert term is not None
+                anchor.insert_before(term, InvalidateCheck(temp))
+                self.result.invalidates += 1
+
+        # Check statements after speculated-over stores
+        if check_plan and self.result.temp is not None:
+            self._insert_checks(self.result.temp, check_plan)
+
+        # Cascade: upgrade skipped earlier-round address checks to chk.a
+        # with recovery code reloading address and value (Figure 4).
+        if self.opts.cascade and self.result.temp is not None:
+            self._upgrade_cascade_checks(self.result.temp)
+
+    def _rewrite_left(self, occ: Occurrence, temp: Variable, uses_alat: bool) -> None:
+        """Store-forwarding: ``a = e`` -> ``t = e; a = t`` (+ ld.a).
+
+        For direct stores the original statement is *retargeted* to the
+        temp and a fresh ``a = t`` follows: the RHS expression tree must
+        stay inside its original statement, because other candidates'
+        occurrences nested in it are keyed by that statement."""
+        stmt = occ.stmt
+        block = stmt.block
+        assert block is not None
+        if isinstance(stmt, Assign):
+            var = stmt.target
+            stmt.target = temp
+            anchor: Stmt = Assign(var, VarRead(temp))
+            block.insert_after(stmt, anchor)
+        else:
+            assert isinstance(stmt, Store)
+            if self._addr_temp is not None:
+                block.insert_before(stmt, Assign(self._addr_temp, self._occ_addr_expr(occ)))
+            save = Assign(temp, stmt.value)
+            block.insert_before(stmt, save)
+            stmt.value = VarRead(temp)
+            anchor = stmt
+        if uses_alat:
+            # Figure 1(b): secure the ALAT entry after the store.
+            lda = Assign(temp, self._template_via_addr_temp(), spec_flag=SpecFlag.LD_A)
+            block.insert_after(anchor, lda)
+        self.result.left_saves += 1
+
+    def _rewrite_save(self, occ: Occurrence, temp: Variable, uses_alat: bool) -> None:
+        """Leading load: ``t = E`` before, use replaced with t."""
+        stmt = occ.stmt
+        block = stmt.block
+        assert block is not None
+        assert occ.expr is not None
+        if self._addr_temp is not None:
+            block.insert_before(stmt, Assign(self._addr_temp, self._occ_addr_expr(occ)))
+            load_expr = self._template_via_addr_temp()
+        else:
+            load_expr = self._clone_template()
+        flag = SpecFlag.LD_A if uses_alat else SpecFlag.NONE
+        save = Assign(temp, load_expr, spec_flag=flag)
+        block.insert_before(stmt, save)
+        replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
+        self.result.saves += 1
+
+    def _rewrite_reload(self, occ: Occurrence, temp: Variable) -> None:
+        stmt = occ.stmt
+        assert occ.expr is not None
+        replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
+        self.result.reloads += 1
+
+    def _rewrite_alat_use(self, occ: Occurrence, temp: Variable) -> None:
+        """Figure 2: the use itself is a check (ld.c) that reloads on
+        the cold path or after a collision.  The address is recomputed
+        in place — exactly what the original load did here."""
+        stmt = occ.stmt
+        block = stmt.block
+        assert block is not None
+        assert occ.expr is not None
+        check = Assign(temp, self._clone_template(), spec_flag=SpecFlag.LD_C_NC)
+        block.insert_before(stmt, check)
+        replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
+        self.result.checks += 1
+        self.result.reloads += 1
+
+    def _insert_on_edge(self, phi: _ExprPhi, operand_index: int, temp: Variable, uses_alat: bool) -> None:
+        pred = phi.pred_blocks[operand_index]
+        if len(pred.successors()) > 1:
+            raise IRError(
+                f"{self.fn.name}: critical edge {pred.label}->{phi.block.label} "
+                "not split before PRE"
+            )
+        control_spec = id(phi) in self._control_spec_phis or not phi.down_safe
+        term = pred.terminator
+        assert term is not None
+        if self._addr_temp is not None:
+            addr_template = self.cand.template
+            assert isinstance(addr_template, Load)
+            pred.insert_before(
+                term, Assign(self._addr_temp, clone_expr(addr_template.addr))
+            )
+            load_expr: Expr = self._template_via_addr_temp()
+        else:
+            load_expr = self._clone_template()
+        if control_spec:
+            # Not anticipated on this path: the load must not fault
+            # (IA-64 ld.sa defers exceptions).
+            flag = SpecFlag.LD_SA
+        elif uses_alat:
+            flag = SpecFlag.LD_A
+        else:
+            flag = SpecFlag.NONE
+        pred.insert_before(term, Assign(temp, load_expr, spec_flag=flag))
+        self.result.inserts += 1
+        if control_spec:
+            self.result.speculative_inserts += 1
+
+    # -- cascade (section 2.4, Figure 4) ------------------------------------
+
+    def _cascade_check_sites(self) -> list[Stmt]:
+        """Earlier-round check statements on this candidate's address
+        temporaries that a cascade reuse speculated across."""
+        info = self.info
+        sites: dict[int, Stmt] = {}
+        stmts_by_sid = {
+            stmt.sid: stmt for b in self.fn.blocks for stmt in b.stmts
+        }
+        seen: set[tuple[VarKey, int, int]] = set()
+
+        def walk(key: VarKey, version: int, stop: int) -> None:
+            while version != stop and version > 0:
+                node = (key, version, stop)
+                if node in seen:
+                    return
+                seen.add(node)
+                site = info.def_site.get((key, version))
+                if site is None:
+                    return
+                if site[0] == "stmt":
+                    link = info.check_def_links.get((key, version))
+                    if link is None:
+                        return  # a real definition: stop
+                    stmt = stmts_by_sid.get(site[1])
+                    if stmt is not None:
+                        sites[stmt.sid] = stmt
+                    version = link[1]
+                elif site[0] == "phi":
+                    phi = info.phis.get(site[1], {}).get(key)
+                    if phi is None:
+                        return
+                    for op in phi.operands:
+                        if op >= 0:
+                            walk(key, op, stop)
+                    return
+                else:
+                    return
+
+        for occ in self.cand.occurrences:
+            if not self._occ_spec.get(id(occ)):
+                continue
+            if self._role.get(id(occ)) != "reload":
+                continue
+            for key, exact, base in zip(
+                self.cand.addr_keys, occ.versions[:-1], occ.base_versions[:-1]
+            ):
+                if exact != base:
+                    walk(key, exact, base)
+        return list(sites.values())
+
+    def _upgrade_cascade_checks(self, value_temp: Variable) -> None:
+        if self.cand.kind is not CandidateKind.INDIRECT:
+            return  # only pointer chains have checked address registers
+        assert isinstance(self.cand.template, Load)
+        for stmt in self._cascade_check_sites():
+            if not isinstance(stmt, Assign):
+                continue
+            if stmt.spec_flag in (SpecFlag.LD_C, SpecFlag.LD_C_NC):
+                # Upgrade: the simple reload becomes a branching check.
+                # The recovery's own loads are ld.sa-style (non-faulting,
+                # re-arming the ALAT entries).
+                stmt.spec_flag = SpecFlag.CHK_A_NC
+                stmt.recovery = [
+                    Assign(stmt.target, clone_expr(stmt.expr), SpecFlag.LD_SA)
+                ]
+            if not stmt.spec_flag.is_branching_check or stmt.recovery is None:
+                continue
+            if self._addr_temp is not None:
+                stmt.recovery.append(
+                    Assign(self._addr_temp, clone_expr(self.cand.template.addr))
+                )
+                reload_expr: Expr = self._template_via_addr_temp()
+            else:
+                reload_expr = clone_expr(self.cand.template)
+            stmt.recovery.append(
+                Assign(value_temp, reload_expr, SpecFlag.LD_SA)
+            )
+            self.result.cascade_upgrades += 1
+
+    # -- check statements --------------------------------------------------
+
+    def _check_plan(self) -> list[tuple[Stmt, str]]:
+        """(statement, mechanism) for every store/call whose speculative
+        chi on the value key some reuse of this candidate skipped.
+        Mechanism is the chi's ('alat' from profile-clean targets,
+        'soft' where the software scheme must repair); a pure-software
+        run forces 'soft' everywhere."""
+        info = self.info
+        key = self.cand.value_key
+        sites: dict[int, Stmt] = {}
+        stmts_by_sid: dict[int, Stmt] = {}
+        for block in self.fn.blocks:
+            for stmt in block.stmts:
+                stmts_by_sid[stmt.sid] = stmt
+
+        visited: set[tuple[int, int]] = set()
+
+        def walk_chain(version: int, stop: int) -> None:
+            while version != stop and version > 0:
+                if (version, stop) in visited:
+                    return
+                visited.add((version, stop))
+                site = info.def_site.get((key, version))
+                if site is None:
+                    return
+                if site[0] == "chi":
+                    stmt = stmts_by_sid.get(site[1])
+                    if stmt is not None:
+                        sites[stmt.sid] = stmt
+                    old = _chi_old_version(stmt, key, version)
+                    if old is None:
+                        return
+                    version = old
+                elif site[0] == "phi":
+                    bid = site[1]
+                    phis = info.phis.get(bid, {})
+                    phi = phis.get(key)
+                    if phi is None:
+                        return
+                    for op in phi.operands:
+                        if op >= 0:
+                            walk_chain(op, stop)
+                    return
+                else:
+                    return
+
+        for occ in self.cand.occurrences:
+            if not self._occ_spec.get(id(occ)):
+                continue
+            if self._role.get(id(occ)) != "reload":
+                continue
+            entry = self._occ_entry.get(id(occ))
+            if (
+                entry is not None
+                and entry.kind == "phi"
+                and entry.phi is not None
+                and entry.phi.alat_avail
+            ):
+                # alat uses are ld.c themselves; no store checks needed
+                # on their behalf
+                continue
+            walk_chain(occ.versions[-1], occ.base_versions[-1])
+
+        # speculative Phi operands of used Phis also skip chis
+        for phi in self.phis.values():
+            if id(phi) not in getattr(self, "_phi_used", set()):
+                continue
+            for i, op in enumerate(phi.operands):
+                if op.speculative and op.class_id is not _BOTTOM:
+                    pred = phi.pred_blocks[i]
+                    exit_version = info.version_at_exit(pred.bid, key)
+                    entry = self._class_def.get(op.class_id)
+                    if entry is not None:
+                        walk_chain(exit_version, entry.versions[-1])
+
+        plan: list[tuple[Stmt, str]] = []
+        indirect = self.cand.kind is CandidateKind.INDIRECT
+        for stmt in sites.values():
+            mechanism = "soft" if self.opts.softcheck else "alat"
+            if not self.opts.softcheck and not indirect:
+                # scalar candidates may carry the software repair for
+                # profile-dirty stores (the baseline scheme underneath)
+                for chi in stmt.chi_list:
+                    if chi.key == key and chi.speculative:
+                        if chi.mechanism is not None:
+                            mechanism = chi.mechanism
+                        break
+            plan.append((stmt, mechanism))
+        return plan
+
+    def _insert_checks(self, temp: Variable, plan: list[tuple[Stmt, str]]) -> None:
+        """Paper section 3.4: refresh the temp after every speculated
+        store — ld.c for ALAT-mechanism sites, an address compare plus
+        predicated reload for software-mechanism sites."""
+        for stmt, mechanism in plan:
+            block = stmt.block
+            if block is None:
+                continue
+            if mechanism == "soft" and isinstance(stmt, Store):
+                check: Stmt = ConditionalReload(
+                    temp, self._candidate_home_addr(), clone_expr(stmt.addr)
+                )
+            else:
+                check = Assign(
+                    temp, self._template_via_addr_temp(), spec_flag=SpecFlag.LD_C_NC
+                )
+            block.insert_after(stmt, check)
+            self.result.checks += 1
+
+
+class _AvailEntry:
+    """One availability source: a def occurrence, a left occurrence, or
+    an available expression Phi."""
+
+    __slots__ = ("kind", "phi", "occ", "needs_save", "spec_linked")
+
+    def __init__(self, kind: str, phi: Optional[_ExprPhi] = None, occ: Optional[Occurrence] = None) -> None:
+        self.kind = kind
+        self.phi = phi
+        self.occ = occ
+        self.needs_save = False
+        #: some *speculative* consumer reads this entry's value — only
+        #: then is an ALAT entry (ld.a after a store) worth arming
+        self.spec_linked = False
+
+
+def _stmt_def_key(stmt: Stmt) -> Optional[VarKey]:
+    from repro.ir.stmt import stmt_defines
+    from repro.ssa.hssa import var_key
+
+    target = stmt_defines(stmt)
+    return var_key(target) if target is not None else None
+
+
+def _chi_old_version(stmt: Optional[Stmt], key: VarKey, new_version: int) -> Optional[int]:
+    if stmt is None:
+        return None
+    for chi in stmt.chi_list:
+        if chi.key == key and chi.new_version == new_version:
+            return chi.old_version
+    return None

@@ -1,0 +1,30 @@
+"""Alias speculation: the paper's core contribution.
+
+* :mod:`profile` — run the program on a *train* input under the IR
+  interpreter and record the concrete target set of every indirect
+  load/store (section 3.1's alias-profiling feedback).
+* :mod:`spec_ssa` — turn a profile (or heuristics) into the χ_s/μ_s
+  decider HSSA construction consumes, and inspection helpers.
+* :mod:`heuristics` — rule-based speculation when no profile exists.
+* :mod:`softcheck` — helpers for the Nicolau-style software check
+  baseline (section 5).
+* :mod:`cascade` — cascade-failure promotion for pointer chains
+  (section 2.4): chk.a checks with recovery code.
+* :mod:`recovery` — recovery-code construction shared by chk.a users.
+"""
+
+from repro.speculation.profile import (
+    AliasProfile,
+    collect_alias_profile,
+    make_profile_decider,
+)
+from repro.speculation.heuristics import make_heuristic_decider
+from repro.speculation.spec_ssa import count_speculative_ops
+
+__all__ = [
+    "AliasProfile",
+    "collect_alias_profile",
+    "make_profile_decider",
+    "make_heuristic_decider",
+    "count_speculative_ops",
+]

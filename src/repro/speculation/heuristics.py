@@ -1,0 +1,65 @@
+"""Rule-based alias speculation (no profile needed).
+
+The paper notes "other speculation methods, such as using heuristic
+rules, can also be applied in this framework" (section 3.1).  These
+rules capture the common reasons static points-to sets are over-broad
+in C programs:
+
+* **fanout rule** — a store whose points-to set is large is usually a
+  weak-analysis artifact; each individual target is unlikely.
+* **heap-mixing rule** — a store whose points-to set mixes heap objects
+  with named scalars usually walks a heap structure; the named scalars
+  got in through coarse unification.
+* **self-store rule** — never speculate away the *only* target of a
+  store (it is certain to be written).
+
+Heuristic speculation is weaker than profile feedback but needs no
+training run; the ablation benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alias.manager import AliasManager
+from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
+from repro.ir.stmt import Stmt, Store
+from repro.ssa.hssa import SpecDecider
+
+
+@dataclass
+class HeuristicConfig:
+    """Tunable thresholds for the rule set."""
+
+    #: speculate on every named-variable target when the store's
+    #: points-to set has at least this many objects
+    fanout_threshold: int = 2
+    #: speculate on named-variable targets when the set also contains a
+    #: heap object
+    heap_mixing: bool = True
+
+
+def make_heuristic_decider(
+    am: AliasManager, config: HeuristicConfig | None = None
+) -> SpecDecider:
+    cfg = config or HeuristicConfig()
+
+    def decider(stmt: Stmt, obj: MemObject):
+        if not isinstance(stmt, Store):
+            return None
+        targets = am.access_targets(stmt.addr, stmt.value.type)
+        if len(targets) <= 1:
+            # self-store rule: the single target is certainly written;
+            # promote with the software repair only
+            return "soft"
+        if isinstance(obj, HeapMemObject):
+            # Heap objects are what pointer stores usually do hit;
+            # repair in software rather than risk ALAT churn.
+            return "soft"
+        if cfg.heap_mixing and any(isinstance(t, HeapMemObject) for t in targets):
+            return "alat"
+        if len(targets) >= cfg.fanout_threshold:
+            return "alat"
+        return "soft"
+
+    return decider

@@ -1,0 +1,142 @@
+"""Alias profiling (paper section 3.1).
+
+The authors instrument ORC-generated code to record "the target set of
+every memory load or store operation at runtime" [7,8].  Here the IR
+interpreter plays the instrumented binary: a tracer maps every dynamic
+indirect access to the abstract :class:`MemObject` naming scheme the
+static analysis uses (named variables; allocation-site heap objects),
+so the profile and the points-to sets are directly comparable.
+
+``make_profile_decider`` then implements Figure 5: a may-def (χ) of
+object *o* at store *S* is speculative iff the profile never saw *S*
+write *o* — including stores the training run never executed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.alias.manager import AliasManager
+from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
+from repro.ir.expr import Load
+from repro.ir.interp import InterpResult, Interpreter, OwnerTag
+from repro.ir.module import Module
+from repro.ir.stmt import Stmt, Store
+from repro.ssa.hssa import SpecDecider
+
+#: Normalised owner key comparable between profile and static objects:
+#: ("var", variable_id) or ("heap", alloc_statement_sid).
+OwnerKey = tuple[str, int]
+
+
+def _owner_key(owner: Optional[OwnerTag]) -> Optional[OwnerKey]:
+    if owner is None:
+        return None
+    return (owner[0], owner[1])
+
+
+def object_key(obj: MemObject) -> OwnerKey:
+    """The profile key of a static memory object."""
+    if isinstance(obj, VarMemObject):
+        return ("var", obj.var.id)
+    assert isinstance(obj, HeapMemObject)
+    return ("heap", obj.alloc.sid)
+
+
+@dataclass
+class AliasProfile:
+    """Observed target sets, keyed like the static occurrence maps."""
+
+    #: store statement sid -> owner keys actually written
+    store_targets: dict[int, set[OwnerKey]] = field(default_factory=dict)
+    #: load expression eid -> owner keys actually read
+    load_targets: dict[int, set[OwnerKey]] = field(default_factory=dict)
+    #: dynamic counts (for reporting)
+    store_counts: dict[int, int] = field(default_factory=dict)
+    load_counts: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "AliasProfile") -> None:
+        """Accumulate another run's observations (multi-input train)."""
+        for sid, keys in other.store_targets.items():
+            self.store_targets.setdefault(sid, set()).update(keys)
+        for eid, keys in other.load_targets.items():
+            self.load_targets.setdefault(eid, set()).update(keys)
+        for sid, n in other.store_counts.items():
+            self.store_counts[sid] = self.store_counts.get(sid, 0) + n
+        for eid, n in other.load_counts.items():
+            self.load_counts[eid] = self.load_counts.get(eid, 0) + n
+
+    @property
+    def total_dynamic_stores(self) -> int:
+        return sum(self.store_counts.values())
+
+    @property
+    def total_dynamic_loads(self) -> int:
+        return sum(self.load_counts.values())
+
+
+class _ProfilingTracer:
+    def __init__(self) -> None:
+        self.profile = AliasProfile()
+
+    def on_indirect_load(
+        self, load: Load, stmt: Stmt, addr: int, owner: Optional[OwnerTag]
+    ) -> None:
+        key = _owner_key(owner)
+        if key is not None:
+            self.profile.load_targets.setdefault(load.eid, set()).add(key)
+        self.profile.load_counts[load.eid] = (
+            self.profile.load_counts.get(load.eid, 0) + 1
+        )
+
+    def on_indirect_store(
+        self, stmt: Store, addr: int, owner: Optional[OwnerTag]
+    ) -> None:
+        key = _owner_key(owner)
+        if key is not None:
+            self.profile.store_targets.setdefault(stmt.sid, set()).add(key)
+        self.profile.store_counts[stmt.sid] = (
+            self.profile.store_counts.get(stmt.sid, 0) + 1
+        )
+
+
+def collect_alias_profile(
+    module: Module,
+    args: Optional[list[Union[int, float]]] = None,
+    max_steps: int = 50_000_000,
+) -> tuple[AliasProfile, InterpResult]:
+    """Run ``main(args)`` under the interpreter, collecting the profile.
+
+    Run this on the module *before* optimisation: statement/expression
+    ids must match the ones the promoter will consult.
+    """
+    tracer = _ProfilingTracer()
+    result = Interpreter(module, tracer=tracer, max_steps=max_steps).run(args)
+    return tracer.profile, result
+
+
+def make_profile_decider(profile: AliasProfile) -> SpecDecider:
+    """Figure 5, extended with a repair mechanism per may-def.
+
+    A χ whose target never appears in the profiled target set of the
+    store is speculated through the **ALAT** (checks are free when the
+    profile holds).  A χ whose target *was* observed still promotes —
+    the -O3 baseline's software compare-and-reload scheme handles it,
+    as it does in ORC where that optimisation stays enabled underneath
+    the speculative promotion ("our results include this
+    optimization", section 5).  Calls keep their conservative χ lists.
+    """
+
+    def decider(stmt: Stmt, obj: MemObject):
+        if not isinstance(stmt, Store):
+            return None
+        observed = profile.store_targets.get(stmt.sid)
+        if observed is None:
+            # Never executed during training: fully speculative (paper:
+            # "operations related to the targets that do not appear in
+            # the alias profile").
+            return "alat"
+        return "soft" if object_key(obj) in observed else "alat"
+
+    return decider

@@ -1,0 +1,48 @@
+"""Speculative SSA inspection helpers (paper section 3.1, Figure 5).
+
+HSSA construction takes the decider directly; this module provides the
+introspection used by tests, examples and reports: counting and listing
+the χ_s/μ_s operations a decider produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ssa.hssa import ChiOperand, HSSAInfo, MuOperand
+
+
+@dataclass
+class SpeculationSummary:
+    """Counts of speculative vs real may-ops in one function."""
+
+    chis: int = 0
+    speculative_chis: int = 0
+    mus: int = 0
+    speculative_mus: int = 0
+    #: statement sids carrying at least one speculative chi
+    speculative_sites: list[int] = field(default_factory=list)
+
+    @property
+    def chi_speculation_ratio(self) -> float:
+        return self.speculative_chis / self.chis if self.chis else 0.0
+
+
+def count_speculative_ops(fn: Function) -> SpeculationSummary:
+    """Tally χ/χ_s and μ/μ_s annotations after HSSA construction."""
+    summary = SpeculationSummary()
+    for stmt in fn.iter_stmts():
+        has_spec = False
+        for chi in stmt.chi_list:
+            summary.chis += 1
+            if chi.speculative:
+                summary.speculative_chis += 1
+                has_spec = True
+        for mu in stmt.mu_list:
+            summary.mus += 1
+            if mu.speculative:
+                summary.speculative_mus += 1
+        if has_spec:
+            summary.speculative_sites.append(stmt.sid)
+    return summary

@@ -1,0 +1,35 @@
+"""HSSA: SSA form with virtual variables and μ/χ annotations.
+
+Following Chow et al. (CC'96) as adopted by ORC (paper section 3.1),
+indirect memory traffic is factored through virtual variables:
+
+* an indirect load contributes μ (may-use) operands;
+* an indirect store contributes χ (may-def) operands for every named
+  variable it may overwrite and for its alias class's virtual variable;
+* a direct store to an aliased variable χ-updates the virtual variables
+  of classes containing it;
+* calls contribute μ/χ from interprocedural GMOD/GREF summaries.
+
+Construction here is an **annotation overlay**: the executable IR is not
+rewritten.  Versions live in :class:`HSSAInfo` maps keyed by expression /
+statement ids, which keeps every compilation mode independently
+executable and differentially testable.
+"""
+
+from repro.ssa.hssa import (
+    HSSAInfo,
+    MuOperand,
+    ChiOperand,
+    VarPhi,
+    build_hssa,
+    var_key,
+)
+
+__all__ = [
+    "HSSAInfo",
+    "MuOperand",
+    "ChiOperand",
+    "VarPhi",
+    "build_hssa",
+    "var_key",
+]

@@ -1,0 +1,198 @@
+"""Experiment harness: compile + profile + simulate per benchmark.
+
+Methodology mirrors the paper (section 4): the alias profile is
+collected on the *train* input, the generated code runs on the *ref*
+input, and the baseline for comparison is the -O3 configuration
+(classical PRE register promotion plus Nicolau-style software run-time
+checks).  Every run's observable output is differentially checked
+against the unoptimised interpreter before any number is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.counters import Counters
+from repro.machine.cpu import MachineConfig, MachineResult
+from repro.pipeline import (
+    CompileOutput,
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_source,
+    run_program,
+)
+from repro.workloads.programs import BENCHMARKS, Workload, get_workload
+
+
+def BASELINE() -> CompilerOptions:
+    """The paper's -O3 baseline: classical PRE + software checks."""
+    return CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.NONE)
+
+
+def SPECULATIVE() -> CompilerOptions:
+    """-O3 + profile-guided ALAT speculation (the paper's treatment)."""
+    return CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE)
+
+
+@dataclass
+class ModeResult:
+    """One (benchmark, compilation mode) measurement."""
+
+    label: str
+    options: CompilerOptions
+    compile_output: CompileOutput
+    machine: MachineResult
+
+    @property
+    def counters(self) -> Counters:
+        return self.machine.counters
+
+    @property
+    def retired_direct_loads(self) -> int:
+        c = self.counters
+        return c.retired_loads - c.retired_indirect_loads
+
+
+@dataclass
+class BenchmarkResult:
+    """Baseline vs speculative measurement for one benchmark."""
+
+    workload: Workload
+    baseline: ModeResult
+    speculative: ModeResult
+    extras: dict[str, ModeResult] = field(default_factory=dict)
+
+    # -- Figure 8 -----------------------------------------------------
+
+    def _reduction(self, attr: str) -> float:
+        base = getattr(self.baseline.counters, attr)
+        spec = getattr(self.speculative.counters, attr)
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - spec) / base
+
+    @property
+    def cycle_reduction_pct(self) -> float:
+        return self._reduction("cpu_cycles")
+
+    @property
+    def data_access_reduction_pct(self) -> float:
+        return self._reduction("data_access_cycles")
+
+    @property
+    def load_reduction_pct(self) -> float:
+        return self._reduction("retired_loads")
+
+    # -- Figure 9 -----------------------------------------------------
+
+    @property
+    def reduced_loads_by_kind(self) -> dict[str, int]:
+        return {
+            "direct": self.baseline.retired_direct_loads
+            - self.speculative.retired_direct_loads,
+            "indirect": self.baseline.counters.retired_indirect_loads
+            - self.speculative.counters.retired_indirect_loads,
+        }
+
+    # -- Figure 10 ----------------------------------------------------
+
+    @property
+    def misspeculation_ratio_pct(self) -> float:
+        return 100.0 * self.speculative.counters.misspeculation_ratio
+
+    @property
+    def checks_per_load_pct(self) -> float:
+        return 100.0 * self.speculative.counters.checks_per_load
+
+    # -- Figure 11 ----------------------------------------------------
+
+    @property
+    def rse_increase_pct(self) -> float:
+        base = self.baseline.counters.rse_cycles
+        spec = self.speculative.counters.rse_cycles
+        if base == 0:
+            return 0.0 if spec == 0 else 100.0
+        return 100.0 * (spec - base) / base
+
+    @property
+    def rse_share_of_cycles_pct(self) -> float:
+        c = self.speculative.counters
+        if c.cpu_cycles == 0:
+            return 0.0
+        return 100.0 * c.rse_cycles / c.cpu_cycles
+
+
+_cache: dict[tuple, BenchmarkResult] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def _run_mode(
+    workload: Workload,
+    label: str,
+    options: CompilerOptions,
+    expected_output: list[str],
+) -> ModeResult:
+    output = compile_source(
+        workload.source,
+        options,
+        train_args=list(workload.train_args),
+        name=workload.name,
+    )
+    machine = output.run(list(workload.ref_args))
+    if machine.output != expected_output:
+        raise AssertionError(
+            f"{workload.name}/{label}: output mismatch vs reference\n"
+            f"  got:      {machine.output}\n"
+            f"  expected: {expected_output}"
+        )
+    return ModeResult(label, options, output, machine)
+
+
+def run_benchmark(
+    name: str,
+    machine_config: Optional[MachineConfig] = None,
+    extra_modes: Optional[dict[str, CompilerOptions]] = None,
+    use_cache: bool = True,
+) -> BenchmarkResult:
+    """Measure one benchmark: baseline + speculative (+ extras)."""
+    key = (name, id(machine_config) if machine_config else None,
+           tuple(sorted(extra_modes)) if extra_modes else None)
+    if use_cache and key in _cache:
+        return _cache[key]
+
+    workload = get_workload(name)
+    reference = run_program(workload.source, list(workload.ref_args))
+
+    base_opts = BASELINE()
+    spec_opts = SPECULATIVE()
+    if machine_config is not None:
+        base_opts.machine = machine_config
+        spec_opts.machine = machine_config
+
+    result = BenchmarkResult(
+        workload,
+        baseline=_run_mode(workload, "baseline", base_opts, reference.output),
+        speculative=_run_mode(workload, "speculative", spec_opts, reference.output),
+    )
+    for label, options in (extra_modes or {}).items():
+        if machine_config is not None:
+            options.machine = machine_config
+        result.extras[label] = _run_mode(workload, label, options, reference.output)
+
+    if use_cache:
+        _cache[key] = result
+    return result
+
+
+def run_all_benchmarks(
+    machine_config: Optional[MachineConfig] = None,
+) -> dict[str, BenchmarkResult]:
+    """All ten benchmarks, in the paper's reporting order."""
+    return {
+        name: run_benchmark(name, machine_config) for name in BENCHMARKS
+    }

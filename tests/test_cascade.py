@@ -1,0 +1,162 @@
+"""Cascade promotion (paper section 2.4, Figure 4): chk.a with
+recovery code for pointer chains, enabled by a second promotion round
+(`CompilerOptions(rounds=2)`)."""
+
+import pytest
+
+from repro.ir.stmt import Assign, SpecFlag
+from repro.pipeline import (
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_source,
+    run_program,
+)
+
+#: **q chain: statically the *w store may modify the pointer p itself;
+#: dynamically it (almost) never does.
+CHAIN_SRC = """
+int a; int b; int c;
+int *p;
+int *other;
+int **q;
+int **w;
+
+int main(int n) {
+    q = &p;
+    p = &a;
+    other = &c;
+    w = &other;
+    if (n == -1) { w = &p; }   // dead: statically *w may modify p
+    a = 3;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + *(*q);
+        *w = &b;               // address-ambiguous pointer store
+        s = s + *(*q);
+        i = i + 1;
+    }
+    print(s);
+    print(*p);
+    return 0;
+}
+"""
+
+#: Same chain, but the address really is modified on rare iterations the
+#: training input never reaches — the chk.a recovery must repair both
+#: the pointer and the value.
+MISSPEC_SRC = """
+int a; int b; int c;
+int *p;
+int *other;
+int **q;
+int **w;
+
+int main(int n) {
+    q = &p;
+    p = &a;
+    other = &c;
+    a = 3;
+    b = 9;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        if (i > 20 && i % 7 == 0) {
+            w = &p;            // genuine address aliasing (rare)
+        } else {
+            w = &other;
+        }
+        s = s + *(*q);
+        *w = &b;               // sometimes really redirects p to b!
+        s = s + *(*q);
+        i = i + 1;
+    }
+    print(s);
+    print(*p);
+    return 0;
+}
+"""
+
+
+def compile_chain(src, rounds, train):
+    return compile_source(
+        src,
+        CompilerOptions(
+            opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, rounds=rounds
+        ),
+        train_args=train,
+    )
+
+
+def cascade_count(out):
+    return sum(
+        r.cascade_upgrades
+        for stats in out.pre_stats.values()
+        for r in stats.results
+    )
+
+
+def chk_a_statements(out):
+    return [
+        stmt
+        for fn in out.module.iter_functions()
+        for stmt in fn.iter_stmts()
+        if isinstance(stmt, Assign) and stmt.spec_flag.is_branching_check
+    ]
+
+
+def test_round2_upgrades_to_chk_a():
+    out = compile_chain(CHAIN_SRC, rounds=2, train=[10])
+    assert cascade_count(out) >= 1
+    chks = chk_a_statements(out)
+    assert chks, "expected at least one chk.a"
+    for stmt in chks:
+        assert stmt.recovery, "chk.a must carry recovery code"
+        # recovery reloads the address first, then the value
+        assert len(stmt.recovery) >= 2
+
+
+def test_round1_does_not_cascade():
+    out = compile_chain(CHAIN_SRC, rounds=1, train=[10])
+    assert cascade_count(out) == 0
+    assert not chk_a_statements(out)
+
+
+def test_cascade_eliminates_more_loads():
+    one = compile_chain(CHAIN_SRC, rounds=1, train=[10]).run([30])
+    two = compile_chain(CHAIN_SRC, rounds=2, train=[10]).run([30])
+    assert one.output == two.output
+    assert two.counters.retired_loads < one.counters.retired_loads
+
+
+@pytest.mark.parametrize("rounds", [1, 2])
+@pytest.mark.parametrize("n", [10, 30])
+def test_cascade_correct_when_profile_holds(rounds, n):
+    ref = run_program(CHAIN_SRC, [n])
+    out = compile_chain(CHAIN_SRC, rounds=rounds, train=[10])
+    assert out.interpret([n]).output == ref.output
+    assert out.run([n]).output == ref.output
+
+
+@pytest.mark.parametrize("rounds", [1, 2])
+@pytest.mark.parametrize("n", [10, 60, 100])
+def test_cascade_correct_under_address_misspeculation(rounds, n):
+    """The address really changes beyond the training window: chk.a must
+    fail and its recovery must reload pointer AND value."""
+    ref = run_program(MISSPEC_SRC, [n])
+    out = compile_chain(MISSPEC_SRC, rounds=rounds, train=[15])
+    ires = out.interpret([n])
+    assert ires.output == ref.output, f"interp diverged (rounds={rounds})"
+    mres = out.run([n])
+    assert mres.output == ref.output, f"machine diverged (rounds={rounds})"
+
+
+def test_recovery_pays_the_penalty():
+    """chk.a failures must show up as recovery cycles in the machine."""
+    out = compile_chain(MISSPEC_SRC, rounds=2, train=[15])
+    if cascade_count(out) == 0:
+        pytest.skip("no cascade produced for this shape")
+    res = out.run([100])
+    if res.counters.check_failures:
+        assert res.counters.recovery_cycles > 0

@@ -1,0 +1,209 @@
+"""Code generator contract: register assignment, frame layout, calling
+convention, speculation lowering."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.minic import compile_to_ir
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+from repro.target.codegen import generate_machine_code, layout_globals
+from repro.target.isa import (
+    ChkA,
+    InvalaE,
+    Label,
+    Ld,
+    LdC,
+    Lea,
+    LoadKind,
+    PredLd,
+    Region,
+    St,
+)
+
+
+def instrs_of(src, fn="main", **opts):
+    module = compile_to_ir(src)
+    program = generate_machine_code(module)
+    return program.function(fn).instrs
+
+
+def test_global_layout_sequential_and_initialised():
+    src = "int a = 5; int arr[3]; float f = 2.5; int main() { return 0; }"
+    module = compile_to_ir(src)
+    addrs, data = layout_globals(module)
+    ordered = [addrs[g.id] for g in module.globals]
+    assert ordered == sorted(ordered)
+    assert data[addrs[module.find_global("a").id]] == 5
+    assert data[addrs[module.find_global("f").id]] == 2.5
+    # arr occupies 3 words between a and f
+    assert addrs[module.find_global("f").id] - addrs[module.find_global("arr").id] == 3
+
+
+def test_param_in_register_without_address():
+    src = "int main(int n) { return n + 1; }"
+    body = instrs_of(src)
+    # no frame traffic for a non-address-taken parameter
+    assert not any(isinstance(i, (Ld, St)) for i in body)
+
+
+def test_address_taken_param_spilled_to_frame():
+    src = """
+    int main(int n) {
+        int *p = &n;
+        *p = *p + 1;
+        return n;
+    }
+    """
+    body = instrs_of(src)
+    stores = [i for i in body if isinstance(i, St)]
+    assert stores, "address-taken parameter must be spilled on entry"
+    leas = [i for i in body if isinstance(i, Lea) and i.region is Region.FRAME]
+    assert leas
+
+
+def test_global_access_uses_lea_ld():
+    src = "int g; int main() { return g; }"
+    body = instrs_of(src)
+    assert any(isinstance(i, Lea) and i.region is Region.GLOBAL for i in body)
+    assert any(isinstance(i, Ld) and not i.indirect for i in body)
+
+
+def test_indirect_flag_set_for_pointer_loads():
+    src = """
+    int main() {
+        int *h = alloc(int, 2);
+        h[0] = 3;
+        return h[0];
+    }
+    """
+    body = instrs_of(src)
+    loads = [i for i in body if isinstance(i, Ld)]
+    assert any(i.indirect for i in loads)
+
+
+def test_float_loads_flagged():
+    src = "float f; int main() { return (int)f; }"
+    body = instrs_of(src)
+    load = next(i for i in body if isinstance(i, Ld))
+    assert load.is_float
+
+
+def test_speculation_lowering_produces_alat_ops():
+    src = """
+    int a; int b;
+    int *p;
+    int main(int n) {
+        if (n > 100) { p = &a; } else { p = &b; }
+        a = 1;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) { s += a; *p = s; s += a; }
+        return s % 9;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[5],
+    )
+    body = out.program.function("main").instrs
+    kinds = {i.kind for i in body if isinstance(i, Ld)}
+    assert LoadKind.ADVANCED in kinds or LoadKind.SPEC_ADVANCED in kinds
+    assert any(isinstance(i, LdC) for i in body)
+
+
+def test_chk_a_gets_recovery_block():
+    src = """
+    int a; int b; int c;
+    int *p; int *other; int **q; int **w;
+    int main(int n) {
+        q = &p; p = &a; other = &c;
+        w = &other;
+        if (n == -1) { w = &p; }
+        a = 3;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) {
+            s = s + *(*q);
+            *w = &b;
+            s = s + *(*q);
+        }
+        print(s);
+        return 0;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, rounds=2),
+        train_args=[8],
+    )
+    body = out.program.function("main").instrs
+    chks = [i for i in body if isinstance(i, ChkA)]
+    assert chks, "cascade must lower to chk.a"
+    labels = {i.name for i in body if isinstance(i, Label)}
+    for chk in chks:
+        assert chk.recovery_label in labels, "recovery block must exist"
+
+
+def test_invala_lowering():
+    src = """
+    int a; int b;
+    int *r;
+    int main(int n) {
+        if (n > 100) { r = &a; } else { r = &b; }
+        int x = 0;
+        int y = 0;
+        if (n % 2 == 0) { x = a + 1; }
+        *r = n;
+        if (n % 3 == 0) { y = a + 3; }
+        print(x); print(y);
+        return 0;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[6],
+    )
+    body = out.program.function("main").instrs
+    assert any(isinstance(i, InvalaE) for i in body)
+
+
+def test_softcheck_lowering_predld():
+    src = """
+    int a; int b;
+    int *p;
+    int main(int n) {
+        if (n > 100) { p = &a; } else { p = &b; }
+        a = 1;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) { s += a; *p = s; s += a; }
+        return s % 9;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.SOFTWARE),
+        train_args=[5],
+    )
+    body = out.program.function("main").instrs
+    assert any(isinstance(i, PredLd) for i in body)
+    assert not any(isinstance(i, LdC) for i in body)
+
+
+def test_nregs_covers_all_registers():
+    src = """
+    int helper(int a, int b, int c) { return a * b + c; }
+    int main(int n) { return helper(n, n + 1, n + 2); }
+    """
+    module = compile_to_ir(src)
+    program = generate_machine_code(module)
+    for mf in program.functions.values():
+        for instr in mf.instrs:
+            for reg in list(instr.reads()) + list(instr.writes()):
+                assert reg < mf.nregs, f"{mf.name}: r{reg} >= nregs {mf.nregs}"
+
+
+def test_missing_main_rejected():
+    from repro.ir.module import Module
+
+    with pytest.raises(CodegenError):
+        generate_machine_code(Module("empty_with_none"))

@@ -1,0 +1,86 @@
+"""Check-completer selection (Figure 1(c): .nc chain ending in .clr)."""
+
+from repro.ir.stmt import Assign, SpecFlag
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+from repro.pre.completers import select_check_completers
+
+from tests.conftest import assert_all_modes_agree
+
+STRAIGHT_LINE = """
+int a; int b;
+int *r;
+int main(int n) {
+    if (n > 100) { r = &a; } else { r = &b; }
+    a = 2;
+    int x = a + 1;
+    *r = n;
+    int y = a + 3;     // intermediate check: keeps the entry
+    *r = n + 1;
+    int z = a + 5;     // final check: may clear it
+    print(x + y + z);
+    return 0;
+}
+"""
+
+LOOP = """
+int a; int b;
+int *r;
+int main(int n) {
+    if (n > 100) { r = &a; } else { r = &b; }
+    a = 2;
+    int s = 0;
+    for (int i = 0; i < n; i += 1) {
+        *r = s;
+        s = s + a;     // the check must stay .nc inside the loop
+    }
+    print(s);
+    return 0;
+}
+"""
+
+
+def checks_of(out):
+    return [
+        s.spec_flag
+        for fn in out.module.iter_functions()
+        for s in fn.iter_stmts()
+        if isinstance(s, Assign) and s.spec_flag.is_check
+    ]
+
+
+def compile_spec(src):
+    return compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[7],
+    )
+
+
+def test_final_check_cleared_in_straight_line():
+    out = compile_spec(STRAIGHT_LINE)
+    flags = checks_of(out)
+    assert SpecFlag.LD_C in flags, "last check should clear its entry"
+    assert flags.count(SpecFlag.LD_C) >= 1
+
+
+def test_loop_checks_keep_entry():
+    out = compile_spec(LOOP)
+    # checks inside the loop are reachable from themselves: must be .nc
+    loop_flags = [
+        s.spec_flag
+        for s in out.module.main.iter_stmts()
+        if isinstance(s, Assign) and s.spec_flag.is_check
+    ]
+    assert SpecFlag.LD_C_NC in loop_flags
+
+
+def test_semantics_preserved_with_clear_completers():
+    assert_all_modes_agree(STRAIGHT_LINE, [50], train_args=[7])
+    assert_all_modes_agree(STRAIGHT_LINE, [150], train_args=[7])  # mis-spec
+    assert_all_modes_agree(LOOP, [23], train_args=[7])
+
+
+def test_pass_is_idempotent():
+    out = compile_spec(STRAIGHT_LINE)
+    again = select_check_completers(out.module.main)
+    assert again == 0

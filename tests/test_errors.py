@@ -1,0 +1,76 @@
+"""Error hierarchy and diagnostic quality."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CodegenError,
+    InterpError,
+    LexError,
+    MachineError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    SourceError,
+    VerificationError,
+)
+from repro.minic import compile_to_ir
+from repro.pipeline import compile_and_run, run_program
+
+
+def test_hierarchy():
+    for exc in (
+        LexError,
+        ParseError,
+        SemanticError,
+        VerificationError,
+        InterpError,
+        CodegenError,
+        MachineError,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(LexError, SourceError)
+    assert issubclass(ParseError, SourceError)
+    assert issubclass(SemanticError, SourceError)
+
+
+def test_source_errors_carry_positions():
+    with pytest.raises(ParseError) as exc:
+        compile_to_ir("int main() {\n  return 1 2;\n}")
+    assert exc.value.line == 2
+    assert "2:" in str(exc.value)
+    with pytest.raises(LexError) as lex_exc:
+        compile_to_ir("int main() {\n  return @;\n}")
+    assert lex_exc.value.line == 2
+
+
+def test_one_catch_all_for_users():
+    """A downstream user can wrap everything in `except ReproError`."""
+    bad_inputs = [
+        "int main( { }",                          # parse
+        "int main() { return x; }",               # sema
+        "int main() { int *p = 0; return *p; }",  # runtime (interp)
+    ]
+    for source in bad_inputs:
+        with pytest.raises(ReproError):
+            run_program(source, [])
+
+
+def test_machine_fault_is_repro_error():
+    with pytest.raises(ReproError):
+        compile_and_run("int main() { int *p = 0; *p = 1; return 0; }")
+
+
+def test_interp_error_message_names_the_problem():
+    with pytest.raises(InterpError) as exc:
+        run_program("int main() { return 1 / 0; }", [])
+    assert "zero" in str(exc.value)
+
+
+def test_wrong_arity_arguments():
+    with pytest.raises(InterpError):
+        run_program("int main(int a, int b) { return a + b; }", [1])
+
+
+def test_public_error_export():
+    assert repro.ReproError is ReproError

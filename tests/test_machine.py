@@ -1,0 +1,264 @@
+"""Code generator + simulator: functional agreement with the
+interpreter, counter semantics, and the ALAT protocol end to end."""
+
+import pytest
+
+from repro.errors import MachineError, MachineLimitExceeded
+from repro.ir.interp import run_module
+from repro.machine.cpu import MachineConfig, Simulator
+from repro.minic import compile_to_ir
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+from repro.target import format_program, generate_machine_code
+from repro.target.isa import Ld, LdC, LoadKind, St
+
+
+def simulate(src, args=None, opt=OptLevel.O0):
+    out = compile_source(src, CompilerOptions(opt_level=opt))
+    return out.run(args or [])
+
+
+def test_simple_arithmetic_matches_interp():
+    src = """
+    int main(int n) {
+        int x = n * 3 + 1;
+        print(x);
+        print(x / 2);
+        print(x % 5);
+        print(-x);
+        return x;
+    }
+    """
+    for n in (0, 7, -9):
+        ref = run_module(compile_to_ir(src), [n])
+        res = simulate(src, [n])
+        assert res.output == ref.output
+        assert res.exit_value == ref.exit_value
+
+
+def test_float_semantics_match():
+    src = """
+    float acc;
+    int main(int n) {
+        float f = 1.5;
+        acc = f * n + 0.25;
+        print(acc);
+        print((int)acc);
+        print(acc / 4.0);
+        return 0;
+    }
+    """
+    for n in (1, 13):
+        ref = run_module(compile_to_ir(src), [n])
+        assert simulate(src, [n]).output == ref.output
+
+
+def test_control_flow_and_calls():
+    src = """
+    int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    int main() { print(fib(12)); return 0; }
+    """
+    assert simulate(src).output == ["144"]
+
+
+def test_heap_and_structs():
+    src = """
+    struct n { int v; struct n *next; };
+    int main(int k) {
+        struct n *head = 0;
+        for (int i = 0; i < k; i += 1) {
+            struct n *nd = alloc(struct n, 1);
+            nd->v = i * i;
+            nd->next = head;
+            head = nd;
+        }
+        int s = 0;
+        while (head != 0) { s += head->v; head = head->next; }
+        print(s);
+        return 0;
+    }
+    """
+    ref = run_module(compile_to_ir(src), [7])
+    assert simulate(src, [7]).output == ref.output
+
+
+def test_wraparound_matches():
+    src = "int main() { int big = 9223372036854775807; print(big + 1); return 0; }"
+    assert simulate(src).output == [str(-(2**63))]
+
+
+def test_division_semantics_match():
+    src = """
+    int main() {
+        print(-7 / 2); print(-7 % 2); print(7 / -2); print(7 % -2);
+        return 0;
+    }
+    """
+    assert simulate(src).output == ["-3", "-1", "-3", "1"]
+
+
+def test_null_store_faults():
+    src = "int main() { int *p = 0; *p = 1; return 0; }"
+    with pytest.raises(MachineError):
+        simulate(src)
+
+
+def test_instruction_limit():
+    src = "int main() { while (1) { } return 0; }"
+    out = compile_source(src, CompilerOptions(opt_level=OptLevel.O0))
+    config = MachineConfig(max_instructions=10_000)
+    with pytest.raises(MachineLimitExceeded):
+        Simulator(out.program, config).run([])
+
+
+# -- counters ------------------------------------------------------------------
+
+
+def test_promotion_reduces_retired_loads():
+    src = """
+    int g;
+    int main(int n) {
+        g = 1;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) { s += g; }
+        return s;
+    }
+    """
+    o0 = simulate(src, [100], OptLevel.O0)
+    o2 = simulate(src, [100], OptLevel.O2)
+    assert o2.counters.retired_loads < o0.counters.retired_loads
+    assert o2.counters.cpu_cycles < o0.counters.cpu_cycles
+    assert o2.counters.data_access_cycles < o0.counters.data_access_cycles
+
+
+def test_check_success_is_free_and_not_a_load():
+    """ld.c that always succeeds must retire no loads and add no
+    data-access cycles (the paper's central cost claim)."""
+    src = """
+    int a; int b;
+    int *p;
+    int main(int n) {
+        if (n > 100) { p = &a; } else { p = &b; }
+        a = 5;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) {
+            s += a;
+            *p = s;
+            s += a;
+        }
+        print(s); print(b);
+        return 0;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[10],
+    )
+    res = out.run([50])  # both train and ref take the p -> b path
+    ref = run_module(compile_to_ir(src), [50])
+    assert res.output == ref.output
+    c = res.counters
+    assert c.check_instructions > 0
+    assert c.check_failures == 0  # profile holds: p always points to b
+    assert c.misspeculation_ratio == 0.0
+
+
+def test_misspeculation_reloads_and_counts():
+    src = """
+    int a; int b;
+    int *p;
+    int main(int n) {
+        if (n > 100) { p = &a; } else { p = &b; }
+        a = 5;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) {
+            s += a;
+            *p = s;
+            s += a;
+        }
+        print(s); print(a); print(b);
+        return 0;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[10],  # trains p -> b
+    )
+    res = out.run([200])  # runs p -> a: every check collides
+    ref = run_module(compile_to_ir(src), [200])
+    assert res.output == ref.output
+    c = res.counters
+    assert c.check_failures > 0
+    assert 0 < c.misspeculation_ratio <= 1.0
+
+
+def test_rse_cycles_zero_for_shallow_programs():
+    src = "int main() { return 1; }"
+    res = simulate(src)
+    assert res.counters.rse_cycles == 0
+
+
+def test_rse_cycles_positive_for_deep_recursion():
+    src = """
+    int burn(int n) {
+        int a1 = n + 1; int a2 = n + 2; int a3 = n + 3; int a4 = n + 4;
+        int a5 = n + 5; int a6 = n + 6; int a7 = n + 7; int a8 = n + 8;
+        if (n == 0) { return a1; }
+        return burn(n - 1) + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8;
+    }
+    int main() { return burn(40) % 251; }
+    """
+    res = simulate(src, [], OptLevel.O1)
+    assert res.counters.rse_cycles > 0
+
+
+def test_direct_vs_indirect_load_classification():
+    src = """
+    int g;
+    int main() {
+        int *h = alloc(int, 4);
+        h[0] = 2;
+        g = h[0];
+        print(g + h[0]);
+        return 0;
+    }
+    """
+    res = simulate(src, [], OptLevel.O0)
+    c = res.counters
+    assert c.retired_indirect_loads > 0
+    assert c.retired_loads > c.retired_indirect_loads  # g loads are direct
+
+
+def test_asm_printer_smoke():
+    out = compile_source("int main() { return 3; }", CompilerOptions())
+    text = format_program(out.program)
+    assert "main:" in text and "ret" in text
+
+
+def test_store_snoops_alat_in_stream():
+    """Every st in the stream must reach the ALAT: run a program where
+    collisions are certain and confirm the ALAT saw them."""
+    src = """
+    int a;
+    int *p;
+    int main(int n) {
+        p = &a;
+        a = 1;
+        int s = 0;
+        for (int i = 0; i < n; i += 1) {
+            s += a;
+            *p = s;
+            s += a;
+        }
+        print(s);
+        return 0;
+    }
+    """
+    out = compile_source(
+        src,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.HEURISTIC),
+    )
+    res = out.run([10])
+    ref = run_module(compile_to_ir(src), [10])
+    assert res.output == ref.output

@@ -1,0 +1,138 @@
+"""Coverage for smaller public surfaces: short-circuit value context,
+alias query helpers, counter properties, report export."""
+
+import json
+
+import pytest
+
+from repro.alias import AliasManager
+from repro.ir.expr import Load
+from repro.ir.stmt import Store
+from repro.machine.counters import Counters
+from repro.minic import compile_to_ir
+from repro.pipeline import run_program
+
+from tests.conftest import assert_all_modes_agree
+
+
+# -- short-circuit operators in value context ---------------------------------
+
+
+def test_logical_and_as_value():
+    src = """
+    int count;
+    int bump() { count = count + 1; return 0; }
+    int main() {
+        int r = bump() && bump();   // second bump must not run
+        print(r); print(count);
+        return 0;
+    }
+    """
+    assert run_program(src, []).output == ["0", "1"]
+
+
+def test_logical_or_as_value():
+    src = """
+    int main(int n) {
+        int r = (n > 3) || (n < 0);
+        return r;
+    }
+    """
+    assert run_program(src, [5]).exit_value == 1
+    assert run_program(src, [2]).exit_value == 0
+
+
+def test_short_circuit_value_all_modes():
+    src = """
+    int g;
+    int touch(int v) { g = g + v; return v; }
+    int main(int n) {
+        int r = (n > 2) && touch(n);
+        print(r); print(g);
+        return 0;
+    }
+    """
+    assert_all_modes_agree(src, [5])
+    assert_all_modes_agree(src, [1])
+
+
+# -- alias manager helpers --------------------------------------------------------
+
+
+def test_may_alias_accesses_api():
+    src = """
+    int a; int b;
+    int *p; int *r;
+    int main(int n) {
+        if (n) { p = &a; } else { p = &b; }
+        r = &a;
+        *p = 1;
+        print(*r);
+        return 0;
+    }
+    """
+    module = compile_to_ir(src)
+    am = AliasManager(module)
+    store = next(s for s in module.main.iter_stmts() if isinstance(s, Store))
+    load = next(
+        e
+        for s in module.main.iter_stmts()
+        for e in s.walk_exprs()
+        if isinstance(e, Load)
+    )
+    assert am.may_alias_accesses(store.addr, store.value.type, load.addr, load.type)
+
+
+def test_disjoint_accesses_do_not_alias():
+    src = """
+    int a;
+    float f;
+    int main() {
+        int *p = &a;
+        float *q = &f;
+        *p = 1;
+        *q = 1.5;
+        print(*p); print(*q);
+        return 0;
+    }
+    """
+    module = compile_to_ir(src)
+    am = AliasManager(module)
+    stores = [s for s in module.main.iter_stmts() if isinstance(s, Store)]
+    assert len(stores) == 2
+    assert not am.may_alias_accesses(
+        stores[0].addr, stores[0].value.type, stores[1].addr, stores[1].value.type
+    )
+
+
+# -- counters ----------------------------------------------------------------------
+
+
+def test_counters_ratios_and_dict():
+    c = Counters(check_instructions=10, check_failures=3, retired_loads=90)
+    assert c.misspeculation_ratio == pytest.approx(0.3)
+    assert c.checks_per_load == pytest.approx(10 / 100)
+    d = c.as_dict()
+    assert d["check_failures"] == 3 and "cpu_cycles" in d
+
+
+def test_counters_zero_division_guards():
+    c = Counters()
+    assert c.misspeculation_ratio == 0.0
+    assert c.checks_per_load == 0.0
+
+
+# -- report export -------------------------------------------------------------------
+
+
+def test_figures_as_dict_is_json_serialisable():
+    from repro.workloads import figures_as_dict, run_benchmark
+
+    results = {"vpr": run_benchmark("vpr")}
+    data = figures_as_dict(results)
+    text = json.dumps(data)
+    parsed = json.loads(text)
+    assert parsed["figure8"]["vpr"]["cpu_cycles_reduction_pct"] == pytest.approx(
+        results["vpr"].cycle_reduction_pct
+    )
+    assert set(parsed) == {"figure8", "figure9", "figure10", "figure11"}

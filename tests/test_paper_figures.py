@@ -1,0 +1,268 @@
+"""Paper-conformance suite: each transformation figure from section 2
+as an IR-pattern assertion.
+
+These tests document — in executable form — that the compiler emits the
+code shapes the paper draws.  They complement the behavioural tests:
+here we check *what* is generated, not just that it runs correctly.
+"""
+
+import pytest
+
+from repro.ir.expr import VarRead
+from repro.ir.stmt import Assign, InvalidateCheck, SpecFlag
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+
+from tests.conftest import assert_all_modes_agree
+
+
+def spec_compile(src, train, rounds=1):
+    return compile_source(
+        src,
+        CompilerOptions(
+            opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, rounds=rounds
+        ),
+        train_args=train,
+    )
+
+
+def flagged(out, *flags):
+    return [
+        s
+        for fn in out.module.iter_functions()
+        for s in fn.iter_stmts()
+        if isinstance(s, Assign) and s.spec_flag in flags
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(a): read following read -> ld.a ... ld.c
+# ---------------------------------------------------------------------------
+
+FIG_1A = """
+int a; int b;
+int *q;
+int main(int n) {
+    if (n > 100) { q = &a; } else { q = &b; }
+    a = 5;
+    int x = a + 1;
+    *q = n;
+    int y = a + 3;
+    print(x + y);
+    return 0;
+}
+"""
+
+
+def test_figure_1a_ld_a_then_ld_c():
+    out = spec_compile(FIG_1A, [6])
+    advanced = flagged(out, SpecFlag.LD_A, SpecFlag.LD_SA)
+    checks = flagged(out, SpecFlag.LD_C, SpecFlag.LD_C_NC)
+    assert advanced and checks
+    # the check re-validates the same temporary the advanced load set
+    assert {s.target.id for s in checks} & {s.target.id for s in advanced}
+    assert_all_modes_agree(FIG_1A, [6], train_args=[6])
+    assert_all_modes_agree(FIG_1A, [200], train_args=[6])  # mis-speculate
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(b): read following write -> store-forward + ld.a after store
+# ---------------------------------------------------------------------------
+
+FIG_1B = """
+int a; int b;
+int *q;
+int main(int n) {
+    if (n > 100) { q = &a; } else { q = &b; }
+    a = n * 2;
+    *q = n;
+    print(a + 3);
+    return 0;
+}
+"""
+
+
+def test_figure_1b_ld_a_after_the_store():
+    out = spec_compile(FIG_1B, [6])
+    main = out.module.main
+    stmts = list(main.iter_stmts())
+    # find the direct store to a (now `a = t` after forwarding)
+    store_idx = next(
+        i
+        for i, s in enumerate(stmts)
+        if isinstance(s, Assign)
+        and not s.target.is_temp
+        and s.target.name == "a"
+    )
+    after = stmts[store_idx + 1]
+    assert isinstance(after, Assign) and after.spec_flag is SpecFlag.LD_A, (
+        "Figure 1(b): an ld.a must directly follow the store to secure "
+        "the ALAT entry"
+    )
+    # forwarding: the store's RHS is a register read
+    assert isinstance(stmts[store_idx].expr, VarRead)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1(c): multiple redundant loads -> .nc chain ending in .clr
+# ---------------------------------------------------------------------------
+
+FIG_1C = """
+int a; int b;
+int *q;
+int main(int n) {
+    if (n > 100) { q = &a; } else { q = &b; }
+    a = 5;
+    int x = a + 1;
+    *q = n;
+    int y = a + 3;
+    *q = n + 1;
+    int z = a - 5;
+    print(x + y + z);
+    return 0;
+}
+"""
+
+
+def test_figure_1c_nc_chain_ends_in_clr():
+    out = spec_compile(FIG_1C, [6])
+    checks = flagged(out, SpecFlag.LD_C, SpecFlag.LD_C_NC)
+    assert len(checks) >= 2, "two speculated stores -> two checks"
+    kinds = [s.spec_flag for s in checks]
+    assert kinds[-1] is SpecFlag.LD_C, "the final check clears the entry"
+    assert SpecFlag.LD_C_NC in kinds[:-1], "intermediate checks keep it"
+    assert_all_modes_agree(FIG_1C, [6], train_args=[6])
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: partial redundancy -> invala.e + ld.c at the use
+# ---------------------------------------------------------------------------
+
+FIG_2 = """
+int a; int b;
+int *q;
+int main(int n) {
+    if (n > 100) { q = &a; } else { q = &b; }
+    int x = 0;
+    int y = 0;
+    if (n % 2 == 0) { x = a + 1; }
+    *q = n;
+    if (n % 3 == 0) { y = a + 3; }
+    print(x); print(y);
+    return 0;
+}
+"""
+
+
+def test_figure_2_invala_scheme():
+    out = spec_compile(FIG_2, [6])
+    invalas = [
+        s
+        for s in out.module.main.iter_stmts()
+        if isinstance(s, InvalidateCheck)
+    ]
+    assert invalas, "partial redundancy uses invala.e at a dominating point"
+    checks = flagged(out, SpecFlag.LD_C, SpecFlag.LD_C_NC)
+    assert checks
+    # the invalidation targets the same temp the checks validate
+    assert {i.temp.id for i in invalas} & {c.target.id for c in checks}
+    for n in (6, 4, 9, 7, 102, 200):
+        assert_all_modes_agree(FIG_2, [n], train_args=[6])
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: speculative loop invariant -> ld.sa above, check inside
+# ---------------------------------------------------------------------------
+
+FIG_3 = """
+int a; int b;
+int *q;
+int main(int n) {
+    if (n > 100) { q = &a; } else { q = &b; }
+    a = 5;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        *q = i;
+        s = s + a;
+        i = i + 1;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+
+def test_figure_3_hoisted_ld_sa_and_in_loop_check():
+    from repro.analysis import compute_dominators, find_natural_loops
+
+    out = spec_compile(FIG_3, [10])
+    fn = out.module.main
+    fn.compute_preds()
+    loops = find_natural_loops(fn, compute_dominators(fn))
+    assert len(loops) == 1
+    (loop,) = loops
+    hoisted = [
+        s
+        for s in fn.iter_stmts()
+        if isinstance(s, Assign)
+        and s.spec_flag in (SpecFlag.LD_SA, SpecFlag.LD_A)
+        and s.block is not None
+        and not loop.contains_block(s.block)
+    ]
+    in_loop_checks = [
+        s
+        for s in fn.iter_stmts()
+        if isinstance(s, Assign)
+        and s.spec_flag.is_check
+        and s.block is not None
+        and loop.contains_block(s.block)
+    ]
+    assert hoisted, "the leading load must move out of the loop"
+    assert in_loop_checks, "each iteration re-validates after the store"
+    for n in (10, 200, 0):
+        assert_all_modes_agree(FIG_3, [n], train_args=[10])
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: cascade -> chk.a with recovery reloading address and value
+# ---------------------------------------------------------------------------
+
+FIG_4 = """
+int a; int b; int c;
+int *p;
+int *other;
+int **q;
+int **w;
+int main(int n) {
+    q = &p;
+    p = &a;
+    other = &c;
+    w = &other;
+    if (n == -1) { w = &p; }
+    a = 3;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + *(*q);
+        *w = &b;
+        s = s + *(*q);
+        i = i + 1;
+    }
+    print(s);
+    print(*p);
+    return 0;
+}
+"""
+
+
+def test_figure_4_chk_a_with_two_part_recovery():
+    out = spec_compile(FIG_4, [10], rounds=2)
+    chks = flagged(out, SpecFlag.CHK_A, SpecFlag.CHK_A_NC)
+    assert chks, "cascade promotion must produce chk.a"
+    for chk in chks:
+        assert chk.recovery and len(chk.recovery) >= 2, (
+            "recovery reloads the address AND the dependent value "
+            "(Figure 4(c))"
+        )
+    for n in (10, 30):
+        assert_all_modes_agree(FIG_4, [n], train_args=[10])

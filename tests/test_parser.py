@@ -1,0 +1,165 @@
+"""Parser unit tests: AST shapes and syntax errors."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast as A
+from repro.minic.parser import parse_program
+
+
+def parse_main_body(body: str):
+    program = parse_program("int main() { %s }" % body)
+    return program.functions[0].body
+
+
+def first_expr(body: str):
+    stmt = parse_main_body(body)[0]
+    if isinstance(stmt, A.ExprStmt):
+        return stmt.expr
+    if isinstance(stmt, A.ReturnStmt):
+        return stmt.value
+    raise AssertionError(f"unexpected stmt {stmt}")
+
+
+def test_program_structure():
+    program = parse_program(
+        """
+        struct pt { int x; int y; };
+        int g;
+        float h[4];
+        void f(int a) { }
+        int main() { return 0; }
+        """
+    )
+    assert [s.name for s in program.structs] == ["pt"]
+    assert [g.name for g in program.globals] == ["g", "h"]
+    assert program.globals[1].array_count == 4
+    assert [f.name for f in program.functions] == ["f", "main"]
+
+
+def test_struct_fields():
+    program = parse_program("struct n { int v; struct n *next; };  int main() { return 0; }")
+    fields = program.structs[0].fields
+    assert fields[0][1] == "v"
+    assert fields[1][0].is_struct and fields[1][0].pointer_depth == 1
+
+
+def test_pointer_depth():
+    program = parse_program("int **pp; int main() { return 0; }")
+    assert program.globals[0].type_spec.pointer_depth == 2
+
+
+def test_precedence_mul_over_add():
+    expr = first_expr("return 1 + 2 * 3;")
+    assert isinstance(expr, A.Binary) and expr.op == "+"
+    assert isinstance(expr.right, A.Binary) and expr.right.op == "*"
+
+
+def test_precedence_comparison_over_logical():
+    expr = first_expr("return 1 < 2 && 3 < 4;")
+    assert isinstance(expr, A.Binary) and expr.op == "&&"
+    assert expr.left.op == "<" and expr.right.op == "<"
+
+
+def test_left_associativity():
+    expr = first_expr("return 10 - 3 - 2;")
+    assert expr.op == "-" and expr.left.op == "-"
+    assert expr.left.left.value == 10
+
+
+def test_unary_chains():
+    expr = first_expr("return --1;")
+    assert isinstance(expr, A.Unary) and isinstance(expr.operand, A.Unary)
+
+
+def test_deref_and_postfix():
+    expr = first_expr("return *p->next;")  # *(p->next)
+    assert isinstance(expr, A.Unary) and expr.op == "*"
+    assert isinstance(expr.operand, A.Member) and expr.operand.arrow
+
+
+def test_index_and_member_chain():
+    expr = first_expr("return a[1].x;")
+    assert isinstance(expr, A.Member) and not expr.arrow
+    assert isinstance(expr.base, A.Index)
+
+
+def test_cast_expression():
+    expr = first_expr("return (int)1.5;")
+    assert isinstance(expr, A.Cast) and expr.target == "int"
+
+
+def test_paren_not_cast():
+    expr = first_expr("return (1) + 2;")
+    assert isinstance(expr, A.Binary)
+
+
+def test_call_with_args():
+    program = parse_program("int f(int a, int b) { return a; } int main() { return f(1, 2+3); }")
+    expr = program.functions[1].body[0].value
+    assert isinstance(expr, A.CallExpr) and len(expr.args) == 2
+
+
+def test_alloc_expression():
+    expr = first_expr("return alloc(int, 10) == 0;")
+    assert isinstance(expr.left, A.AllocExpr)
+    assert expr.left.elem_type.base == "int"
+
+
+def test_compound_assignment_desugars():
+    stmt = parse_main_body("x += 2;")[0]
+    assert isinstance(stmt, A.AssignStmt)
+    assert isinstance(stmt.value, A.Binary) and stmt.value.op == "+"
+
+
+def test_if_else():
+    stmt = parse_main_body("if (1) { print(1); } else print(2);")[0]
+    assert isinstance(stmt, A.IfStmt)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_for_loop_parts():
+    stmt = parse_main_body("for (int i = 0; i < 3; i += 1) print(i);")[0]
+    assert isinstance(stmt, A.ForStmt)
+    assert isinstance(stmt.init, A.DeclStmt)
+    assert stmt.cond is not None and stmt.step is not None
+
+
+def test_for_loop_empty_parts():
+    stmt = parse_main_body("for (;;) break;")[0]
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_while_and_control():
+    body = parse_main_body("while (1) { break; continue; }")
+    assert isinstance(body[0], A.WhileStmt)
+    assert isinstance(body[0].body[0], A.BreakStmt)
+    assert isinstance(body[0].body[1], A.ContinueStmt)
+
+
+def test_local_array_decl():
+    stmt = parse_main_body("int buf[8];")[0]
+    assert isinstance(stmt, A.DeclStmt) and stmt.array_count == 8
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "int main() { return 1 }",  # missing semicolon
+        "int main() { if 1 { } }",  # missing parens
+        "int main() { int x = ; }",
+        "int main( { }",
+        "struct s { int x; }",  # missing trailing semicolon
+        "int a[x]; int main() { }",  # non-literal array size
+        "int main() { foo(1, ; }",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(ParseError):
+        parse_program(bad)
+
+
+def test_error_position_reported():
+    with pytest.raises(ParseError) as exc:
+        parse_program("int main() {\n  return 1 2;\n}")
+    assert exc.value.line == 2

@@ -1,0 +1,211 @@
+"""Speculation package units: profiles, deciders, heuristics,
+speculative-op counting."""
+
+import pytest
+
+from repro.alias import AliasManager
+from repro.ir.stmt import Store
+from repro.minic import compile_to_ir
+from repro.speculation import count_speculative_ops
+from repro.speculation.heuristics import HeuristicConfig, make_heuristic_decider
+from repro.speculation.profile import (
+    AliasProfile,
+    collect_alias_profile,
+    make_profile_decider,
+    object_key,
+)
+from repro.ssa import build_hssa
+
+TWO_TARGET = """
+int a; int b;
+int *p;
+int main(int n) {
+    if (n > 0) { p = &a; } else { p = &b; }
+    *p = 5;
+    print(a + b);
+    return 0;
+}
+"""
+
+
+def the_store(module):
+    return next(s for s in module.main.iter_stmts() if isinstance(s, Store))
+
+
+# -- profiling ---------------------------------------------------------------
+
+
+def test_profile_records_actual_target_only():
+    module = compile_to_ir(TWO_TARGET)
+    profile, result = collect_alias_profile(module, [1])  # p -> a
+    store = the_store(module)
+    observed = profile.store_targets[store.sid]
+    am = AliasManager(module)
+    a_obj = am.object_of_var(module.find_global("a"))
+    b_obj = am.object_of_var(module.find_global("b"))
+    assert object_key(a_obj) in observed
+    assert object_key(b_obj) not in observed
+    assert profile.store_counts[store.sid] == 1
+
+
+def test_profile_counts_accumulate_per_execution():
+    src = """
+    int a;
+    int *p;
+    int main(int n) {
+        p = &a;
+        for (int i = 0; i < n; i += 1) { *p = i; }
+        return a;
+    }
+    """
+    module = compile_to_ir(src)
+    profile, _ = collect_alias_profile(module, [7])
+    assert profile.total_dynamic_stores == 7
+
+
+def test_profile_merge_unions_targets():
+    module = compile_to_ir(TWO_TARGET)
+    p1, _ = collect_alias_profile(module, [1])    # p -> a
+    p2, _ = collect_alias_profile(module, [-1])   # p -> b
+    p1.merge(p2)
+    store = the_store(module)
+    assert len(p1.store_targets[store.sid]) == 2
+    assert p1.store_counts[store.sid] == 2
+
+
+def test_profile_load_targets_recorded():
+    src = """
+    int a;
+    int *p;
+    int main() { p = &a; a = 4; return *p; }
+    """
+    module = compile_to_ir(src)
+    profile, _ = collect_alias_profile(module, [])
+    assert profile.total_dynamic_loads == 1
+    (targets,) = profile.load_targets.values()
+    assert len(targets) == 1
+
+
+# -- profile decider ------------------------------------------------------------
+
+
+def test_decider_mechanisms():
+    module = compile_to_ir(TWO_TARGET)
+    profile, _ = collect_alias_profile(module, [1])  # p -> a observed
+    decider = make_profile_decider(profile)
+    am = AliasManager(module)
+    store = the_store(module)
+    a_obj = am.object_of_var(module.find_global("a"))
+    b_obj = am.object_of_var(module.find_global("b"))
+    assert decider(store, a_obj) == "soft"   # observed: software repair
+    assert decider(store, b_obj) == "alat"   # clean: hardware check
+
+
+def test_decider_unexecuted_store_fully_speculative():
+    src = """
+    int a;
+    int *p;
+    int main(int n) {
+        p = &a;
+        if (n > 1000) { *p = 1; }   // never executed in training
+        return a;
+    }
+    """
+    module = compile_to_ir(src)
+    profile, _ = collect_alias_profile(module, [1])
+    decider = make_profile_decider(profile)
+    am = AliasManager(module)
+    store = the_store(module)
+    a_obj = am.object_of_var(module.find_global("a"))
+    assert decider(store, a_obj) == "alat"
+
+
+def test_decider_ignores_calls():
+    src = """
+    int g;
+    void w() { g = 1; }
+    int main() { w(); return g; }
+    """
+    module = compile_to_ir(src)
+    profile, _ = collect_alias_profile(module, [])
+    decider = make_profile_decider(profile)
+    am = AliasManager(module)
+    from repro.ir.stmt import Call
+
+    call = next(s for s in module.main.iter_stmts() if isinstance(s, Call))
+    g_obj = am.object_of_var(module.find_global("g"))
+    assert not decider(call, g_obj)
+
+
+# -- heuristics ----------------------------------------------------------------
+
+
+def test_heuristic_single_target_is_soft():
+    src = """
+    int a;
+    int *p;
+    int main() { p = &a; *p = 1; return a; }
+    """
+    module = compile_to_ir(src)
+    am = AliasManager(module)
+    decider = make_heuristic_decider(am)
+    store = the_store(module)
+    a_obj = am.object_of_var(module.find_global("a"))
+    assert decider(store, a_obj) == "soft"
+
+
+def test_heuristic_fanout_rule():
+    module = compile_to_ir(TWO_TARGET)
+    am = AliasManager(module)
+    decider = make_heuristic_decider(am, HeuristicConfig(fanout_threshold=2))
+    store = the_store(module)
+    a_obj = am.object_of_var(module.find_global("a"))
+    assert decider(store, a_obj) == "alat"
+    strict = make_heuristic_decider(am, HeuristicConfig(fanout_threshold=5, heap_mixing=False))
+    assert strict(store, a_obj) == "soft"
+
+
+def test_heuristic_heap_objects_stay_soft():
+    src = """
+    int g;
+    int *p;
+    int main(int n) {
+        int *h = alloc(int, 4);
+        if (n == -1) { p = &g; } else { p = h; }
+        *p = 3;
+        return g;
+    }
+    """
+    module = compile_to_ir(src)
+    am = AliasManager(module)
+    decider = make_heuristic_decider(am)
+    store = the_store(module)
+    targets = am.access_targets(store.addr, store.value.type)
+    heap_obj = next(t for t in targets if str(t).startswith("heap@"))
+    named = next(t for t in targets if not str(t).startswith("heap@"))
+    assert decider(store, heap_obj) == "soft"
+    assert decider(store, named) == "alat"  # heap-mixing rule
+
+
+# -- speculative-op summaries -----------------------------------------------------
+
+
+def test_count_speculative_ops():
+    module = compile_to_ir(TWO_TARGET)
+    profile, _ = collect_alias_profile(module, [1])
+    am = AliasManager(module)
+    build_hssa(module.main, module, am, spec_decider=make_profile_decider(profile))
+    summary = count_speculative_ops(module.main)
+    assert summary.chis > 0
+    assert 0 < summary.speculative_chis <= summary.chis
+    assert summary.speculative_sites
+    assert 0 < summary.chi_speculation_ratio <= 1.0
+
+
+def test_count_without_decider_is_all_real():
+    module = compile_to_ir(TWO_TARGET)
+    am = AliasManager(module)
+    build_hssa(module.main, module, am)
+    summary = count_speculative_ops(module.main)
+    assert summary.speculative_chis == 0
+    assert summary.chi_speculation_ratio == 0.0

@@ -1,0 +1,89 @@
+"""Benchmark workloads: differential correctness across the full mode
+matrix (scaled-down inputs) and experiment-harness sanity."""
+
+import pytest
+
+from repro.workloads.programs import BENCHMARKS, FP_BENCHMARKS, get_workload
+from repro.workloads.runner import BASELINE, SPECULATIVE, run_benchmark
+
+from tests.conftest import assert_all_modes_agree
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_workload_all_modes_agree_small(name):
+    """Every kernel, every compilation mode, interpreter + simulator —
+    on a scaled-down input with the real train input as profile."""
+    w = get_workload(name)
+    small_args = [max(3, w.ref_args[0] // 20)]
+    assert_all_modes_agree(w.source, small_args, train_args=list(w.train_args))
+
+
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_workload_misspeculation_safe(name):
+    """Train on a tiny input so the profile is maximally wrong, then run
+    a larger one: outputs must still match the oracle."""
+    w = get_workload(name)
+    args = [max(5, w.ref_args[0] // 10)]
+    assert_all_modes_agree(w.source, args, train_args=[3])
+
+
+def test_registry_complete():
+    assert len(BENCHMARKS) == 10
+    assert set(FP_BENCHMARKS) <= set(BENCHMARKS)
+    assert list(BENCHMARKS)[:3] == ["gzip", "vpr", "mcf"]
+
+
+def test_get_workload_unknown():
+    with pytest.raises(KeyError):
+        get_workload("specfp-psi")
+
+
+def test_runner_validates_output():
+    """The harness itself must differentially validate every run."""
+    result = run_benchmark("vpr")
+    assert result.baseline.machine.output == result.speculative.machine.output
+    assert result.workload.name == "vpr"
+
+
+def test_runner_cache():
+    from repro.workloads.runner import _cache
+
+    a = run_benchmark("vpr")
+    b = run_benchmark("vpr")
+    assert a is b  # memoized
+
+
+def test_baseline_and_speculative_options_differ():
+    base, spec = BASELINE(), SPECULATIVE()
+    assert base.spec_mode != spec.spec_mode
+    assert base.opt_level == spec.opt_level
+
+
+def test_reduction_properties():
+    r = run_benchmark("vortex")
+    assert r.cycle_reduction_pct == pytest.approx(
+        100.0
+        * (r.baseline.counters.cpu_cycles - r.speculative.counters.cpu_cycles)
+        / r.baseline.counters.cpu_cycles
+    )
+    kinds = r.reduced_loads_by_kind
+    assert kinds["direct"] + kinds["indirect"] == (
+        r.baseline.counters.retired_loads
+        - r.speculative.counters.retired_loads
+    )
+
+
+def test_report_tables_render():
+    from repro.workloads.report import (
+        figure8_table,
+        figure9_table,
+        figure10_table,
+        figure11_table,
+        summary_table,
+    )
+
+    results = {"vpr": run_benchmark("vpr"), "vortex": run_benchmark("vortex")}
+    for renderer in (figure8_table, figure9_table, figure10_table, figure11_table):
+        table = renderer(results)
+        assert "vpr" in table and "vortex" in table
+    assert "Figure 8" in summary_table(results)
