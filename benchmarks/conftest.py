@@ -5,10 +5,16 @@ Results are cached across modules (every figure reads the same ten
 baseline/speculative runs), written to ``benchmarks/results/`` and
 echoed to the terminal at session end (pytest captures stdout during
 tests, so the tables are printed from the sessionfinish hook).
+
+Observability: every session also dumps per-mode run metrics
+(``results/metrics.json``, via ``repro.obs.build_metrics``).  Set
+``REPRO_BENCH_TRACE=1`` to additionally stream every benchmark run's
+structured event trace to ``results/traces/<bench>.<mode>.jsonl``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -44,14 +50,31 @@ def pytest_sessionfinish(session, exitstatus):
 @pytest.fixture(scope="session")
 def all_results():
     """The ten benchmark measurements, shared by every figure.  Also
-    dumps the raw data as JSON for downstream plotting."""
+    dumps the raw data as JSON for downstream plotting, plus per-mode
+    run metrics (and full event traces when ``REPRO_BENCH_TRACE`` is
+    set)."""
     import json
 
+    from repro.obs import build_metrics
     from repro.workloads import figures_as_dict, run_all_benchmarks
 
-    results = run_all_benchmarks()
+    trace_dir = None
+    if os.environ.get("REPRO_BENCH_TRACE"):
+        trace_dir = str(RESULTS_DIR / "traces")
+
+    results = run_all_benchmarks(trace_dir=trace_dir)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "figures.json").write_text(
         json.dumps(figures_as_dict(results), indent=2) + "\n"
+    )
+    metrics = {
+        name: {
+            mode.label: build_metrics(mode.compile_output, mode.machine)
+            for mode in (result.baseline, result.speculative)
+        }
+        for name, result in results.items()
+    }
+    (RESULTS_DIR / "metrics.json").write_text(
+        json.dumps(metrics, indent=2) + "\n"
     )
     return results

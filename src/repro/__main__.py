@@ -3,18 +3,24 @@
 Usage::
 
     python -m repro program.mc --args 50 --opt 3 --spec profile \\
-        --train-args 10 --dump-ir --counters
+        --train-args 10 --dump-ir --counters \\
+        --trace trace.jsonl --metrics-out metrics.json --summary
 
 Mirrors the library pipeline: optional alias-profiling run on the train
 arguments, compilation at the chosen level/speculation mode, simulation
-on the main arguments, and pfmon-style counter output.
+on the main arguments, and pfmon-style counter output.  ``--trace``
+streams the structured event log (JSONL; ``-`` for stdout),
+``--metrics-out`` writes the aggregated metrics JSON, and ``--summary``
+prints the human-readable report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.obs import TraceContext, build_metrics, format_summary, make_sink
 from repro.pipeline import (
     CompilerOptions,
     OptLevel,
@@ -72,6 +78,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="differentially check against the unoptimised interpreter",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write the structured event trace as JSONL (- for stdout)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --trace: emit a counters.snapshot every N instructions",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write aggregated run metrics as JSON (- for stdout)",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the human-readable metrics summary",
+    )
     return parser
 
 
@@ -86,16 +116,23 @@ def main(argv: list[str] | None = None) -> int:
         rounds=args.rounds,
     )
     train = args.train_args if args.train_args is not None else args.args
-    output = compile_source(source, options, train_args=train, name=args.file)
 
-    if args.dump_ir:
-        print(format_module(output.module))
-        print()
-    if args.dump_asm:
-        print(format_program(output.program))
-        print()
+    obs = TraceContext(make_sink(args.trace), snapshot_every=args.snapshot_every)
+    try:
+        output = compile_source(
+            source, options, train_args=train, name=args.file, obs=obs
+        )
 
-    result = output.run(list(args.args))
+        if args.dump_ir:
+            print(format_module(output.module))
+            print()
+        if args.dump_asm:
+            print(format_program(output.program))
+            print()
+
+        result = output.run(list(args.args))
+    finally:
+        obs.close()
     for line in result.output:
         print(line)
 
@@ -109,6 +146,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.counters:
         for key, value in result.counters.as_dict().items():
             print(f"{key:>22}: {value}", file=sys.stderr)
+
+    if args.metrics_out or args.summary:
+        metrics = build_metrics(output, result, obs)
+        if args.metrics_out == "-":
+            json.dump(metrics, sys.stdout, indent=2)
+            print()
+        elif args.metrics_out:
+            with open(args.metrics_out, "w") as f:
+                json.dump(metrics, f, indent=2)
+                f.write("\n")
+        if args.summary:
+            print(format_summary(metrics), file=sys.stderr)
 
     return result.exit_value % 256
 

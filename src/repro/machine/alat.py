@@ -45,7 +45,10 @@ class ALATStats:
     allocations: int = 0
     store_collisions: int = 0  # entries invalidated by stores
     capacity_evictions: int = 0
+    #: invala.e instructions executed (attempts, present entry or not)
     explicit_invalidations: int = 0
+    #: invala.e executions that actually dropped a live entry
+    explicit_drops: int = 0
     check_hits: int = 0
     check_misses: int = 0
 
@@ -65,6 +68,10 @@ class ALAT:
         self.stats = ALATStats()
         self._sets: list[list[_Entry]] = [[] for _ in range(self.config.sets)]
         self._clock = 0
+        #: optional ``callable(event_name, **fields)`` — set by the
+        #: simulator only when tracing is on, so the None check is the
+        #: entire cost of the instrumentation otherwise.
+        self.observer = None
 
     # -- helpers ----------------------------------------------------------
 
@@ -91,12 +98,18 @@ class ALAT:
         if existing is not None:
             existing.partial_addr = self._partial(addr)
             existing.lru = self._clock
+            if self.observer is not None:
+                self.observer("alat.allocate", tag=tag, addr=addr, refresh=True)
             return
         if len(bucket) >= self.config.associativity:
             victim = min(bucket, key=lambda e: e.lru)
             bucket.remove(victim)
             self.stats.capacity_evictions += 1
+            if self.observer is not None:
+                self.observer("alat.evict", tag=victim.tag)
         bucket.append(_Entry(tag, self._partial(addr), self._clock))
+        if self.observer is not None:
+            self.observer("alat.allocate", tag=tag, addr=addr, refresh=False)
 
     def snoop_store(self, addr: int) -> int:
         """Every store: invalidate entries whose partial address matches.
@@ -108,6 +121,8 @@ class ALAT:
             for entry in bucket:
                 if entry.partial_addr == partial:
                     removed += 1
+                    if self.observer is not None:
+                        self.observer("alat.collision", tag=entry.tag, addr=addr)
                 else:
                     keep.append(entry)
             if removed:
@@ -121,6 +136,8 @@ class ALAT:
         entry = self._find(tag)
         if entry is None:
             self.stats.check_misses += 1
+            if self.observer is not None:
+                self.observer("alat.check", tag=tag, hit=False, clear=clear)
             return False
         self.stats.check_hits += 1
         if clear:
@@ -128,14 +145,27 @@ class ALAT:
         else:
             self._clock += 1
             entry.lru = self._clock
+        if self.observer is not None:
+            self.observer("alat.check", tag=tag, hit=True, clear=clear)
         return True
 
-    def invalidate_entry(self, tag: RegTag) -> None:
-        """invala.e: drop one entry if present."""
+    def invalidate_entry(self, tag: RegTag) -> bool:
+        """invala.e: drop one entry if present.
+
+        ``explicit_invalidations`` counts executions of the instruction;
+        ``explicit_drops`` counts the subset that found a live entry to
+        remove (distinguishing dead invalidates from effective ones).
+        Returns True when an entry was dropped.
+        """
         entry = self._find(tag)
-        if entry is not None:
+        dropped = entry is not None
+        if dropped:
             self._sets[self._set_index(tag)].remove(entry)
+            self.stats.explicit_drops += 1
         self.stats.explicit_invalidations += 1
+        if self.observer is not None:
+            self.observer("alat.invalidate", tag=tag, dropped=dropped)
+        return dropped
 
     def invalidate_all(self) -> None:
         """invala: flush the table (also used at context boundaries)."""

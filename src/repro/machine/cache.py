@@ -84,6 +84,9 @@ class CacheHierarchy:
         self.stats = CacheStats()
         self._l1 = _Level(self.config.l1, self.config.line_words)
         self._l2 = _Level(self.config.l2, self.config.line_words)
+        #: optional ``callable(event_name, **fields)``; set by the
+        #: simulator only when tracing is on.
+        self.observer = None
 
     def load_latency(self, addr: int, is_float: bool = False) -> int:
         lw = self.config.line_words
@@ -93,6 +96,8 @@ class CacheHierarchy:
                 self.stats.l2_hits += 1
                 return self.config.fp_min_latency
             self.stats.l2_misses += 1
+            if self.observer is not None:
+                self.observer("cache.miss", level="l2", addr=addr, fp=True)
             return self.config.memory_latency
         if self._l1.access(addr, lw):
             self.stats.l1_hits += 1
@@ -100,8 +105,12 @@ class CacheHierarchy:
         self.stats.l1_misses += 1
         if self._l2.access(addr, lw):
             self.stats.l2_hits += 1
+            if self.observer is not None:
+                self.observer("cache.miss", level="l1", addr=addr, fp=False)
             return self.config.l2.hit_latency
         self.stats.l2_misses += 1
+        if self.observer is not None:
+            self.observer("cache.miss", level="l2", addr=addr, fp=False)
         return self.config.memory_latency
 
     def store_touch(self, addr: int) -> None:

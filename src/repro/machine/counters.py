@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 
 @dataclass
@@ -32,6 +33,12 @@ class Counters:
     #: calls executed
     calls: int = 0
     branches: int = 0
+    #: retired ld.a/ld.sa (the subset of loads that allocate ALAT entries)
+    retired_advanced_loads: int = 0
+    #: predicated home-location reloads that actually fired (soft scheme)
+    predicated_reloads: int = 0
+    #: invala.e instructions retired
+    explicit_invalidations: int = 0
 
     @property
     def misspeculation_ratio(self) -> float:
@@ -46,17 +53,6 @@ class Counters:
         return self.check_instructions / total if total else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "cpu_cycles": self.cpu_cycles,
-            "data_access_cycles": self.data_access_cycles,
-            "instructions": self.instructions,
-            "retired_loads": self.retired_loads,
-            "retired_indirect_loads": self.retired_indirect_loads,
-            "retired_stores": self.retired_stores,
-            "check_instructions": self.check_instructions,
-            "check_failures": self.check_failures,
-            "recovery_cycles": self.recovery_cycles,
-            "rse_cycles": self.rse_cycles,
-            "calls": self.calls,
-            "branches": self.branches,
-        }
+        """Every counter field, by name — stays in sync with the
+        dataclass definition by construction."""
+        return dataclasses.asdict(self)

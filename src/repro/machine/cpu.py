@@ -37,6 +37,7 @@ from repro.machine.alat import ALAT, ALATConfig
 from repro.machine.cache import CacheConfig, CacheHierarchy
 from repro.machine.counters import Counters
 from repro.machine.rse import RegisterStackEngine, RSEConfig
+from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.target.isa import (
     AllocH,
     Alu,
@@ -124,9 +125,15 @@ class _Frame:
 class Simulator:
     """Runs one MProgram."""
 
-    def __init__(self, program: MProgram, config: Optional[MachineConfig] = None) -> None:
+    def __init__(
+        self,
+        program: MProgram,
+        config: Optional[MachineConfig] = None,
+        obs: Optional[TraceContext] = None,
+    ) -> None:
         self.program = program
         self.config = config or MachineConfig()
+        self.obs = obs if obs is not None else NULL_TRACE
         self.counters = Counters()
         self.alat = ALAT(self.config.alat)
         self.cache = CacheHierarchy(self.config.cache)
@@ -140,16 +147,48 @@ class Simulator:
         self._w = self.config.issue_width
         # counters split kept here (Counters holds the public subset)
         self.retired_direct_loads = 0
+        if self.obs.enabled:
+            self._attach_observers()
+
+    def _attach_observers(self) -> None:
+        """Hook the machine components into the trace context.
+
+        Observers are only installed when tracing is enabled; otherwise
+        the components keep ``observer = None`` and the simulation takes
+        the exact same path as an uninstrumented build (events never
+        mutate simulator state, so simulated counters are identical
+        either way).
+        """
+        obs = self.obs
+        counters = self.counters
+
+        def machine_observer(name: str, **fields) -> None:
+            obs.event(name, instr=counters.instructions, **fields)
+
+        self.alat.observer = machine_observer
+        self.cache.observer = machine_observer
+        self.rse.observer = machine_observer
 
     # -- public API -----------------------------------------------------
 
     def run(self, args: Optional[list[Value]] = None) -> MachineResult:
+        self.obs.event(
+            "sim.begin", program=self.program.name, args=list(args or [])
+        )
         main = self.program.function("main")
         self.rse.call(main.nregs)
         result = self._run_function(main, list(args or []))
         self.counters.rse_cycles = self.rse.stats.rse_cycles
         self.counters.cpu_cycles = self.time // self._w
         exit_value = int(result) if result is not None else 0
+        if self.obs.enabled:
+            self.obs.event(
+                "sim.end",
+                program=self.program.name,
+                exit_value=exit_value,
+                cycles=self.counters.cpu_cycles,
+                instructions=self.counters.instructions,
+            )
         return MachineResult(
             exit_value, self.output, self.counters, self.alat, self.cache, self.rse
         )
@@ -194,6 +233,11 @@ class Simulator:
         counters = self.counters
         pc = 0
         w = self._w
+        # Hoisted tracing state: ``snap`` is 0 unless a real sink is
+        # attached, so the disabled path pays one falsy check per
+        # retired instruction and nothing else.
+        obs = self.obs
+        snap = obs.snapshot_every
 
         while True:
             if pc >= len(instrs):
@@ -208,6 +252,8 @@ class Simulator:
                 raise MachineLimitExceeded(
                     f"exceeded {self.config.max_instructions} instructions"
                 )
+            if snap and counters.instructions % snap == 0:
+                obs.event("counters.snapshot", **counters.as_dict())
 
             # issue: wait for source operands
             start = self.time
@@ -250,6 +296,7 @@ class Simulator:
                     self._charge_cycles(self.config.recovery_penalty)
                     pc = mf.label_index(instr.recovery_label)
             elif isinstance(instr, InvalaE):
+                counters.explicit_invalidations += 1
                 self.alat.invalidate_entry((frame.serial, instr.rd))
             elif isinstance(instr, St):
                 addr = self._addr(frame, instr.ra)
@@ -264,6 +311,7 @@ class Simulator:
                     latency = self.cache.load_latency(addr, instr.is_float)
                     frame.ready[instr.rd] = start + w * latency
                     counters.retired_loads += 1
+                    counters.predicated_reloads += 1
                     counters.data_access_cycles += latency
                     if instr.indirect:
                         counters.retired_indirect_loads += 1
@@ -340,6 +388,7 @@ class Simulator:
         else:
             self.retired_direct_loads += 1
         if instr.kind in (LoadKind.ADVANCED, LoadKind.SPEC_ADVANCED):
+            counters.retired_advanced_loads += 1
             self.alat.allocate((frame.serial, instr.rd), addr)
 
     def _do_check_load(self, frame: _Frame, instr: LdC, start: int) -> None:
@@ -434,6 +483,7 @@ def run_machine(
     program: MProgram,
     args: Optional[list[Value]] = None,
     config: Optional[MachineConfig] = None,
+    obs: Optional[TraceContext] = None,
 ) -> MachineResult:
     """Convenience wrapper."""
-    return Simulator(program, config).run(args)
+    return Simulator(program, config, obs=obs).run(args)

@@ -45,6 +45,9 @@ class RegisterStackEngine:
         self.stats = RSEStats()
         self._frames: List[_Frame] = []
         self._resident = 0  # registers currently in physical stack
+        #: optional ``callable(event_name, **fields)``; set by the
+        #: simulator only when tracing is on.
+        self.observer = None
 
     def call(self, frame_size: int) -> int:
         """Push a frame; returns RSE cycles charged for spills."""
@@ -53,6 +56,7 @@ class RegisterStackEngine:
         self._resident += frame_size
         self.stats.max_depth = max(self.stats.max_depth, len(self._frames))
         cycles = 0
+        spilled = 0
         # Spill oldest frames' registers until the new frame fits.
         i = 0
         while self._resident > self.config.physical_registers and i < len(self._frames) - 1:
@@ -64,10 +68,15 @@ class RegisterStackEngine:
                 old.spilled += moved
                 self._resident -= moved
                 self.stats.spilled_registers += moved
+                spilled += moved
                 cycles += moved * self.config.spill_cost
             i += 1
         self.stats.max_resident = max(self.stats.max_resident, self._resident)
         self.stats.rse_cycles += cycles
+        if spilled and self.observer is not None:
+            self.observer(
+                "rse.spill", regs=spilled, cycles=cycles, depth=len(self._frames)
+            )
         return cycles
 
     def ret(self) -> int:
@@ -75,6 +84,7 @@ class RegisterStackEngine:
         frame = self._frames.pop()
         self._resident -= frame.size - frame.spilled
         cycles = 0
+        filled = 0
         # The caller's frame must be resident again; fill what was
         # spilled, youngest-first.
         if self._frames:
@@ -84,8 +94,13 @@ class RegisterStackEngine:
                 caller.spilled = 0
                 self._resident += moved
                 self.stats.filled_registers += moved
+                filled = moved
                 cycles += moved * self.config.spill_cost
         self.stats.rse_cycles += cycles
+        if filled and self.observer is not None:
+            self.observer(
+                "rse.fill", regs=filled, cycles=cycles, depth=len(self._frames)
+            )
         return cycles
 
     @property

@@ -1,0 +1,42 @@
+"""Observability: structured event tracing + metrics for the pipeline.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.sinks` — where events go (null / in-memory / JSONL);
+* :mod:`repro.obs.trace` — the :class:`TraceContext` threaded through
+  ``compile_source`` and the simulator (phase timers, speculation
+  decisions, ALAT/cache/RSE events, counter snapshots);
+* :mod:`repro.obs.report` — metrics aggregation and the human summary.
+
+The default everywhere is :data:`NULL_TRACE`, whose sink reports
+``enabled = False``; producers skip event construction entirely, so an
+untraced run is bit-identical (in simulated counters) to one before
+this subsystem existed.
+"""
+
+from repro.obs.report import build_metrics, format_summary, misspeculation_breakdown
+from repro.obs.sinks import (
+    NULL_SINK,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    make_sink,
+    read_jsonl,
+)
+from repro.obs.trace import NULL_TRACE, TraceContext
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NULL_SINK",
+    "NULL_TRACE",
+    "NullSink",
+    "Sink",
+    "TraceContext",
+    "build_metrics",
+    "format_summary",
+    "make_sink",
+    "misspeculation_breakdown",
+    "read_jsonl",
+]

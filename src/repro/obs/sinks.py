@@ -1,0 +1,124 @@
+"""Trace sinks: where structured events go.
+
+A sink receives one ``dict`` per event.  The null sink is the default
+everywhere and advertises ``enabled = False`` so producers can skip
+building the event dict entirely — tracing must cost *nothing* when
+off, because the simulator's counters are the experiment and any
+perturbation would show up in the figures.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional, TextIO
+
+
+class Sink:
+    """Base sink interface."""
+
+    #: Producers consult this before constructing event payloads.
+    enabled: bool = True
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards everything; ``enabled`` is False so nothing is even
+    built.  Shared singleton: :data:`NULL_SINK`."""
+
+    enabled = False
+
+    def emit(self, event: dict) -> None:  # pragma: no cover - never called
+        pass
+
+
+#: Process-wide null sink (stateless, safe to share).
+NULL_SINK = NullSink()
+
+
+class MemorySink(Sink):
+    """Collects events in a list — the test/debug sink."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def of_type(self, name: str) -> list[dict]:
+        """Events with the given ``event`` name."""
+        return [e for e in self.events if e.get("event") == name]
+
+
+class JsonlSink(Sink):
+    """Writes one JSON object per line (JSONL).
+
+    Accepts a path or an open text stream.  Values that JSON cannot
+    represent (e.g. tuples nested in dataclasses) are stringified.
+    """
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        if self._closed:
+            return
+        self._stream.write(json.dumps(event, default=_json_fallback))
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.flush()
+        except (ValueError, OSError):  # already closed underneath us
+            pass
+        if self._owns_stream:
+            self._stream.close()
+
+
+def _json_fallback(value):
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+def read_jsonl(source) -> list[dict]:
+    """Parse a JSONL trace back into a list of event dicts.  Accepts a
+    path, a text stream, or a string of JSONL content."""
+    if isinstance(source, str) and "\n" not in source and not source.lstrip().startswith("{"):
+        with open(source, "r", encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    return [json.loads(line) for line in source if line.strip()]
+
+
+def make_sink(path: Optional[str]) -> Sink:
+    """CLI convenience: a JSONL sink for a path, the null sink for
+    ``None`` or empty, stdout for ``-``."""
+    if not path:
+        return NULL_SINK
+    if path == "-":
+        import sys
+
+        return JsonlSink(sys.stdout)
+    return JsonlSink(path)

@@ -1,0 +1,112 @@
+"""The per-compilation trace context.
+
+One :class:`TraceContext` accompanies a ``compile_source(...).run(...)``
+pair end to end.  Producers call :meth:`event` with a name and flat
+keyword fields; the context stamps a monotonically increasing sequence
+number so event ordering is explicit in the output, and accumulates
+per-phase wall-clock times independently of whether a sink is attached.
+
+Event schema (documented in DESIGN.md §"Trace schema"):
+
+========================  =================================================
+``phase.begin/end``       pipeline phase timers (``phase``, ``wall_ms`` +
+                          per-phase payload counts on ``end``)
+``spec.decision``         one per decider verdict (``function``, ``sid``,
+                          ``stmt``, ``verdict``)
+``spec.lowered``          one per speculative annotation surviving to the
+                          final IR (``function``, ``sid``, ``flag``,
+                          ``target``, ``recovery_stmts``)
+``pre.function``          per-function promotion stats
+``codegen.function``      register/frame footprint + instruction mix
+``alat.allocate``         ``ld.a``/``ld.sa`` allocated an entry
+``alat.collision``        a store invalidated an entry
+``alat.evict``            capacity (way-conflict) eviction
+``alat.check``            ``ld.c``/``chk.a`` probe (``hit`` bool)
+``alat.invalidate``       ``invala.e`` (``dropped`` bool)
+``cache.miss``            data-cache miss (``level``)
+``rse.spill/fill``        register-stack traffic (``regs``, ``cycles``)
+``counters.snapshot``     periodic counter time-series sample
+``sim.begin/end``         one simulated run
+========================  =================================================
+
+ALAT events carry the register tag as ``[activation_serial, register]``
+and the retired-instruction index, so a trace line pinpoints *which*
+advanced load misspeculated — the attribution Figures 10's breakdown
+needs and flat counters cannot give.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.sinks import NULL_SINK, Sink
+
+
+class TraceContext:
+    """Event + metrics funnel for one compilation/run.
+
+    ``enabled`` mirrors the sink; producers use it to skip payload
+    construction entirely (the zero-overhead-when-disabled contract).
+    """
+
+    def __init__(self, sink: Optional[Sink] = None, snapshot_every: int = 0) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        #: emit a ``counters.snapshot`` every N retired instructions
+        #: (0 = never); only consulted when a real sink is attached.
+        self.snapshot_every = snapshot_every if self.sink.enabled else 0
+        self.seq = 0
+        #: cumulative wall-clock seconds per pipeline phase — cheap
+        #: enough to keep even with the null sink.
+        self.phase_times: dict[str, float] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    # -- events ---------------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one structured event (no-op when disabled)."""
+        if not self.sink.enabled:
+            return
+        self.seq += 1
+        self.sink.emit({"seq": self.seq, "event": name, **fields})
+
+    @contextmanager
+    def phase(self, name: str, **fields) -> Iterator[dict]:
+        """Time a pipeline phase.
+
+        Yields a dict the caller may fill with op counts; they are
+        attached to the ``phase.end`` event.  Wall time accumulates in
+        :attr:`phase_times` even when tracing is disabled.
+        """
+        self.event("phase.begin", phase=name)
+        info: dict = {}
+        t0 = time.perf_counter()
+        try:
+            yield info
+        finally:
+            dt = time.perf_counter() - t0
+            self.phase_times[name] = self.phase_times.get(name, 0.0) + dt
+            self.event(
+                "phase.end",
+                phase=name,
+                wall_ms=round(dt * 1e3, 3),
+                **fields,
+                **info,
+            )
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "TraceContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Shared disabled context — the default ``obs`` everywhere.
+NULL_TRACE = TraceContext(NULL_SINK)

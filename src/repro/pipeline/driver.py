@@ -30,6 +30,7 @@ from repro.ir.stmt import Stmt, Store
 from repro.ir.verify import verify_module
 from repro.machine.cpu import MachineConfig, MachineResult, Simulator
 from repro.minic.lower import compile_to_ir
+from repro.obs.trace import TraceContext
 from repro.pipeline.options import CompilerOptions, OptLevel, SpecMode
 from repro.pre.driver import FunctionPREStats, run_load_pre
 from repro.pre.scalarrepl import promote_module_scalars
@@ -53,6 +54,45 @@ def _all_stores_decider(stmt: Stmt, obj):
     return "soft" if isinstance(stmt, Store) else None
 
 
+def _traced_decider(obs: TraceContext, fn_name: str, decider):
+    """Wrap a speculation decider so every verdict becomes one
+    ``spec.decision`` trace event (only installed when tracing is on)."""
+
+    def wrapped(stmt, obj):
+        verdict = decider(stmt, obj)
+        obs.event(
+            "spec.decision",
+            function=fn_name,
+            sid=stmt.sid,
+            stmt=str(stmt),
+            verdict=verdict,
+        )
+        return verdict
+
+    return wrapped
+
+
+def _emit_lowered_events(obs: TraceContext, module: Module) -> int:
+    """One ``spec.lowered`` event per speculative annotation that
+    survived to the final IR; returns the count."""
+    from repro.ir.stmt import Assign, SpecFlag
+
+    n = 0
+    for fn in module.iter_functions():
+        for stmt in fn.iter_stmts():
+            if isinstance(stmt, Assign) and stmt.spec_flag is not SpecFlag.NONE:
+                n += 1
+                obs.event(
+                    "spec.lowered",
+                    function=fn.name,
+                    sid=stmt.sid,
+                    flag=stmt.spec_flag.value,
+                    target=str(stmt.target),
+                    recovery_stmts=len(stmt.recovery or ()),
+                )
+    return n
+
+
 @dataclass
 class CompileOutput:
     """Everything one compilation produced."""
@@ -63,10 +103,16 @@ class CompileOutput:
     alias_manager: Optional[AliasManager] = None
     profile: Optional[AliasProfile] = None
     pre_stats: dict[str, FunctionPREStats] = field(default_factory=dict)
+    #: the trace context the compilation ran under (a fresh disabled one
+    #: when the caller passed none) — ``run()`` keeps using it.
+    obs: TraceContext = field(default_factory=TraceContext)
 
     def run(self, args: Optional[list[Value]] = None) -> MachineResult:
         """Simulate the compiled program."""
-        return Simulator(self.program, self.options.machine).run(args)
+        with self.obs.phase("simulate"):
+            return Simulator(
+                self.program, self.options.machine, obs=self.obs
+            ).run(args)
 
     def interpret(self, args: Optional[list[Value]] = None) -> InterpResult:
         """Run the (optimised) IR under the interpreter (oracle)."""
@@ -94,23 +140,35 @@ def compile_source(
     train_args: Optional[list[Value]] = None,
     profile: Optional[AliasProfile] = None,
     name: str = "program",
+    obs: Optional[TraceContext] = None,
 ) -> CompileOutput:
     """Compile MiniC source under the given options.
 
     ``train_args`` drive the profiling run for ``SpecMode.PROFILE`` /
     ``SOFTWARE`` when no ready-made ``profile`` is supplied.
+
+    ``obs`` threads a :class:`repro.obs.TraceContext` through every
+    phase (timers, speculation decisions, codegen stats); omitted, a
+    fresh disabled context is used so phase wall times still accumulate.
     """
     opts = options or CompilerOptions()
-    module = compile_to_ir(source, name)
+    obs = obs if obs is not None else TraceContext()
+
+    with obs.phase("frontend") as info:
+        module = compile_to_ir(source, name)
+        info["functions"] = sum(1 for _ in module.iter_functions())
 
     needs_profile = opts.spec_mode in (SpecMode.PROFILE, SpecMode.SOFTWARE)
     if needs_profile and profile is None:
-        profile, _ = collect_alias_profile(module, train_args)
+        with obs.phase("profile") as info:
+            profile, _ = collect_alias_profile(module, train_args)
+            info["train_args"] = list(train_args or [])
 
-    output = CompileOutput(module, MProgram(name), opts, profile=profile)
+    output = CompileOutput(module, MProgram(name), opts, profile=profile, obs=obs)
 
     if opts.opt_level >= OptLevel.O1:
-        promote_module_scalars(module)
+        with obs.phase("scalarrepl"):
+            promote_module_scalars(module)
 
     if opts.opt_level >= OptLevel.O2:
         am = AliasManager(module, opts.alias_analysis, opts.use_type_filter)
@@ -164,24 +222,45 @@ def compile_source(
                     softcheck=True,
                     indirect_speculation=False,
                 )
-        for fn in module.iter_functions():
-            stats = run_load_pre(
-                fn, module, am, pre_opts, spec_decider=decider, rounds=opts.rounds
-            )
-            output.pre_stats[fn.name] = stats
-        if not pre_opts.softcheck:
-            # Figure 1(c): the last check of a temp clears its entry.
-            from repro.pre.completers import select_module_completers
+        with obs.phase("pre") as info:
+            for fn in module.iter_functions():
+                fn_decider = decider
+                if decider is not None and obs.enabled:
+                    fn_decider = _traced_decider(obs, fn.name, decider)
+                stats = run_load_pre(
+                    fn, module, am, pre_opts, spec_decider=fn_decider,
+                    rounds=opts.rounds,
+                )
+                output.pre_stats[fn.name] = stats
+                obs.event(
+                    "pre.function",
+                    function=fn.name,
+                    saves=stats.saves,
+                    reloads=stats.reloads,
+                    checks=stats.checks,
+                    inserts=stats.inserts,
+                    speculative_inserts=stats.speculative_inserts,
+                    invalidates=stats.invalidates,
+                    left_saves=stats.left_saves,
+                )
+            if not pre_opts.softcheck:
+                # Figure 1(c): the last check of a temp clears its entry.
+                from repro.pre.completers import select_module_completers
 
-            select_module_completers(module)
+                select_module_completers(module)
+            if obs.enabled:
+                info["lowered"] = _emit_lowered_events(obs, module)
 
     if opts.opt_level >= OptLevel.O1 and opts.cleanup:
         from repro.opt import cleanup_module
 
-        cleanup_module(module)
+        with obs.phase("cleanup"):
+            cleanup_module(module)
 
-    verify_module(module)
-    output.program = generate_machine_code(module)
+    with obs.phase("verify"):
+        verify_module(module)
+    with obs.phase("codegen"):
+        output.program = generate_machine_code(module, obs=obs)
     return output
 
 

@@ -990,10 +990,15 @@ class SSAPRE:
                     return
 
         for occ in self.cand.occurrences:
-            if not self._occ_spec.get(id(occ)):
-                continue
             if self._role.get(id(occ)) != "reload":
                 continue
+            # The reuse is a cascade whenever the occurrence's address
+            # version differs from the base version it was matched at —
+            # the gap can only be bridged by check-definitions (walk()
+            # stops at real defs), and a value reuse across an address
+            # check is stale exactly when that check fails, regardless
+            # of whether the *value* location was itself speculated
+            # over (the store may not alias the value at all, Figure 4).
             for key, exact, base in zip(
                 self.cand.addr_keys, occ.versions[:-1], occ.base_versions[:-1]
             ):

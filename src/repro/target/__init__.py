@@ -1,0 +1,17 @@
+"""Target backend: the IA-64-flavoured ISA, the code generator, and
+the assembly printer."""
+
+from repro.target.asmprinter import format_instr, format_mfunction, format_program
+from repro.target.codegen import generate_machine_code, layout_globals
+from repro.target.isa import MFunction, MInstr, MProgram
+
+__all__ = [
+    "MFunction",
+    "MInstr",
+    "MProgram",
+    "format_instr",
+    "format_mfunction",
+    "format_program",
+    "generate_machine_code",
+    "layout_globals",
+]

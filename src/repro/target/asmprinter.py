@@ -1,0 +1,115 @@
+"""Human-readable assembly dump of an :class:`MProgram`.
+
+The syntax is IA-64-flavoured pseudo-assembly: one instruction per
+line, register operands as ``r<N>``, speculation completers spelled the
+way the paper does (``ld.a``, ``ld.c.nc``, ``chk.a`` …).  It exists for
+debugging and ``--dump-asm``; nothing parses it back.
+"""
+
+from __future__ import annotations
+
+from repro.target.isa import (
+    AllocH,
+    Alu,
+    Br,
+    Brnz,
+    CallF,
+    ChkA,
+    InvalaE,
+    Label,
+    Ld,
+    LdC,
+    Lea,
+    MFunction,
+    MInstr,
+    Mov,
+    MovI,
+    MProgram,
+    PredLd,
+    PrintR,
+    Region,
+    RetF,
+    St,
+    Un,
+    mnemonic,
+)
+
+
+def _src2(src2) -> str:
+    if isinstance(src2, tuple):
+        return f"r{src2[1]}"
+    return repr(src2) if isinstance(src2, float) else str(src2)
+
+
+def format_instr(instr: MInstr) -> str:
+    """One line of pseudo-assembly (without indentation)."""
+    if isinstance(instr, Label):
+        return f"{instr.name}:"
+    if isinstance(instr, MovI):
+        return f"mov r{instr.rd} = {_src2(instr.value)}"
+    if isinstance(instr, Mov):
+        return f"mov r{instr.rd} = r{instr.rs}"
+    if isinstance(instr, Lea):
+        space = "gp" if instr.region is Region.GLOBAL else "sp"
+        return f"lea r{instr.rd} = {space}[{instr.offset}]"
+    if isinstance(instr, Alu):
+        op = mnemonic(instr)
+        return f"{op}.{instr.op.value} r{instr.rd} = r{instr.rs1}, {_src2(instr.src2)}"
+    if isinstance(instr, Un):
+        return f"un.{instr.op.value} r{instr.rd} = r{instr.rs}"
+    if isinstance(instr, Ld):
+        suffix = ".f" if instr.is_float else ""
+        return f"{instr.kind.value}{suffix} r{instr.rd} = [r{instr.ra}]"
+    if isinstance(instr, LdC):
+        return f"{mnemonic(instr)} r{instr.rd} = [r{instr.ra}]"
+    if isinstance(instr, ChkA):
+        return f"{mnemonic(instr)} r{instr.rd}, {instr.recovery_label}"
+    if isinstance(instr, InvalaE):
+        return f"invala.e r{instr.rd}"
+    if isinstance(instr, St):
+        return f"st [r{instr.ra}] = r{instr.rs}"
+    if isinstance(instr, PredLd):
+        return f"(r{instr.rp}) ld r{instr.rd} = [r{instr.ra}]"
+    if isinstance(instr, Br):
+        return f"br {instr.label}"
+    if isinstance(instr, Brnz):
+        return f"br.nz r{instr.rs}, {instr.label}"
+    if isinstance(instr, CallF):
+        args = ", ".join(f"r{r}" for r in instr.arg_regs)
+        call = f"call {instr.callee}({args})"
+        if instr.result_rd is not None:
+            call = f"r{instr.result_rd} = {call}"
+        return call
+    if isinstance(instr, RetF):
+        return f"ret r{instr.rs}" if instr.rs is not None else "ret"
+    if isinstance(instr, AllocH):
+        return f"alloc r{instr.rd} = heap(r{instr.r_words})"
+    if isinstance(instr, PrintR):
+        return f"print r{instr.rs}"
+    return repr(instr)
+
+
+def format_mfunction(mf: MFunction) -> str:
+    """One function: header with register/frame footprint, then body."""
+    lines = [
+        f"{mf.name}:  // nregs={mf.nregs} frame_words={mf.frame_words} "
+        f"nparams={mf.nparams}"
+    ]
+    for instr in mf.instrs:
+        text = format_instr(instr)
+        indent = "" if isinstance(instr, Label) else "    "
+        lines.append(f"{indent}{text}")
+    return "\n".join(lines)
+
+
+def format_program(program: MProgram) -> str:
+    """The whole program, functions in emission order, then the data
+    segment image."""
+    parts = [f"// program {program.name}"]
+    parts.extend(format_mfunction(mf) for mf in program.functions.values())
+    if program.data:
+        lines = ["// data segment"]
+        for addr in sorted(program.data):
+            lines.append(f"    [{addr:#x}] = {program.data[addr]}")
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts)

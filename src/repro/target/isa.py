@@ -1,0 +1,411 @@
+"""The IA-64-flavoured target ISA (DESIGN.md section 2).
+
+Only the subset that matters for the paper's experiments is modelled:
+plain memory ops, the data-speculation family (``ld.a`` / ``ld.sa`` /
+``ld.c{,.nc}`` / ``chk.a{,.nc}`` / ``invala.e``), the predicated load
+the software check scheme needs, ALU/branch/call scaffolding, and the
+``alloc``/``print`` intrinsics of the MiniC runtime.
+
+Machine functions use an infinite virtual register file; ``nregs`` is
+the register-stack frame size the RSE allocates per activation
+(Figure 11's pressure metric).  Registers ``0..nparams-1`` hold the
+incoming arguments.  Memory is word-addressed, exactly like the IR
+interpreter (`repro.ir.interp`), so data images are interchangeable.
+
+Operand conventions (mirrored by :mod:`repro.machine.cpu`):
+
+* ``rd`` — destination register, ``rs``/``rs1`` — source registers;
+* ``ra`` — register holding a word address;
+* ``Alu.src2`` is either an immediate (int/float) or ``("r", reg)``;
+* branch targets are :class:`Label` names, function-local.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import CodegenError, MachineError
+from repro.ir.expr import BinOpKind, UnOpKind
+
+Value = Union[int, float]
+
+#: ``Alu.src2``: an immediate or a ``("r", reg)`` register reference.
+Src2 = Union[int, float, tuple]
+
+
+class Region(enum.Enum):
+    """Address space a :class:`Lea` resolves against."""
+
+    GLOBAL = "global"  # absolute word address in the data segment
+    FRAME = "frame"  # word offset from the activation's frame base
+
+
+class LoadKind(enum.Enum):
+    """Flavours of :class:`Ld` (paper section 2.1)."""
+
+    NORMAL = "ld"
+    ADVANCED = "ld.a"  # allocates an ALAT entry
+    SPEC_ADVANCED = "ld.sa"  # + control speculation: defers faults
+
+
+class MInstr:
+    """Base machine instruction."""
+
+    def reads(self) -> tuple[int, ...]:
+        """Source registers the scoreboard must wait on."""
+        return ()
+
+    def writes(self) -> tuple[int, ...]:
+        """Destination registers."""
+        return ()
+
+
+@dataclass
+class Label(MInstr):
+    """Branch target marker (retires for free)."""
+
+    name: str
+
+
+@dataclass
+class MovI(MInstr):
+    """``rd = imm``."""
+
+    rd: int
+    value: Value
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Mov(MInstr):
+    """``rd = rs``."""
+
+    rd: int
+    rs: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Lea(MInstr):
+    """``rd = &region[offset]`` — materialise a word address."""
+
+    rd: int
+    region: Region
+    offset: int
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Alu(MInstr):
+    """``rd = rs1 <op> src2`` with IR binop semantics."""
+
+    op: BinOpKind
+    rd: int
+    rs1: int
+    src2: Src2
+    is_float: bool = False
+
+    def reads(self) -> tuple[int, ...]:
+        if isinstance(self.src2, tuple):
+            return (self.rs1, self.src2[1])
+        return (self.rs1,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Un(MInstr):
+    """``rd = <op> rs`` (neg / not / int<->float conversion)."""
+
+    op: UnOpKind
+    rd: int
+    rs: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Ld(MInstr):
+    """``rd = [ra]`` — plain, advanced, or speculative-advanced load."""
+
+    rd: int
+    ra: int
+    kind: LoadKind = LoadKind.NORMAL
+    indirect: bool = False
+    is_float: bool = False
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.ra,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class LdC(MInstr):
+    """``ld.c`` / ``ld.c.nc``: probe the ALAT entry of ``rd``; reload
+    from ``[ra]`` on a miss.  A hit is free (the paper's 0-cycle
+    check); ``clear`` selects the ``.clr`` completer."""
+
+    rd: int
+    ra: int
+    clear: bool = True
+    indirect: bool = False
+    is_float: bool = False
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.ra,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class ChkA(MInstr):
+    """``chk.a`` / ``chk.a.nc``: branch to ``recovery_label`` when the
+    ALAT entry of ``rd`` is gone."""
+
+    rd: int
+    recovery_label: str
+    clear: bool = False
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class InvalaE(MInstr):
+    """``invala.e``: explicitly drop the ALAT entry of ``rd``."""
+
+    rd: int
+
+
+@dataclass
+class St(MInstr):
+    """``[ra] = rs`` — every store snoops the ALAT."""
+
+    ra: int
+    rs: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.ra, self.rs)
+
+
+@dataclass
+class PredLd(MInstr):
+    """``(rp) rd = [ra]`` — predicated reload for the software
+    run-time-disambiguation baseline (Nicolau [30])."""
+
+    rd: int
+    rp: int
+    ra: int
+    indirect: bool = False
+    is_float: bool = False
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rp, self.ra)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class Br(MInstr):
+    """Unconditional branch."""
+
+    label: str
+
+
+@dataclass
+class Brnz(MInstr):
+    """Branch to ``label`` when ``rs`` is non-zero."""
+
+    rs: int
+    label: str
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+
+@dataclass
+class CallF(MInstr):
+    """Direct call; arguments are copied into the callee's registers
+    ``0..n-1`` (register-window style)."""
+
+    callee: str
+    arg_regs: list[int]
+    result_rd: Optional[int] = None
+
+    def reads(self) -> tuple[int, ...]:
+        return tuple(self.arg_regs)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.result_rd,) if self.result_rd is not None else ()
+
+
+@dataclass
+class RetF(MInstr):
+    """Return, optionally with a value register."""
+
+    rs: Optional[int] = None
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,) if self.rs is not None else ()
+
+
+@dataclass
+class AllocH(MInstr):
+    """``rd = alloc(r_words)`` — zero-initialised heap allocation."""
+
+    rd: int
+    r_words: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.r_words,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass
+class PrintR(MInstr):
+    """Observable output of one register (models ``printf``)."""
+
+    rs: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+
+def mnemonic(instr: MInstr) -> str:
+    """Canonical mnemonic used by the asm printer and the per-function
+    instruction-mix statistics in the trace."""
+    if isinstance(instr, Label):
+        return "label"
+    if isinstance(instr, MovI) or isinstance(instr, Mov):
+        return "mov"
+    if isinstance(instr, Lea):
+        return "lea"
+    if isinstance(instr, Alu):
+        return "falu" if instr.is_float else "alu"
+    if isinstance(instr, Un):
+        return "un"
+    if isinstance(instr, Ld):
+        return instr.kind.value
+    if isinstance(instr, LdC):
+        return "ld.c" if instr.clear else "ld.c.nc"
+    if isinstance(instr, ChkA):
+        return "chk.a" if instr.clear else "chk.a.nc"
+    if isinstance(instr, InvalaE):
+        return "invala.e"
+    if isinstance(instr, St):
+        return "st"
+    if isinstance(instr, PredLd):
+        return "pred.ld"
+    if isinstance(instr, Br):
+        return "br"
+    if isinstance(instr, Brnz):
+        return "brnz"
+    if isinstance(instr, CallF):
+        return "call"
+    if isinstance(instr, RetF):
+        return "ret"
+    if isinstance(instr, AllocH):
+        return "alloc"
+    if isinstance(instr, PrintR):
+        return "print"
+    return type(instr).__name__.lower()
+
+
+class MFunction:
+    """One compiled function: a flat instruction list plus its register
+    and frame requirements."""
+
+    def __init__(self, name: str, nparams: int = 0) -> None:
+        self.name = name
+        self.nparams = nparams
+        self.instrs: list[MInstr] = []
+        #: register-stack frame size (what the RSE allocates per call)
+        self.nregs = max(1, nparams)
+        #: words of stack-frame memory (zeroed on entry)
+        self.frame_words = 0
+        self._labels: Optional[dict[str, int]] = None
+
+    def emit(self, instr: MInstr) -> MInstr:
+        self.instrs.append(instr)
+        self._labels = None
+        for reg in (*instr.reads(), *instr.writes()):
+            if reg is not None and reg >= self.nregs:
+                self.nregs = reg + 1
+        return instr
+
+    def label_index(self, name: str) -> int:
+        """Instruction index of ``Label(name)`` (cached)."""
+        if self._labels is None:
+            self._labels = {
+                instr.name: i
+                for i, instr in enumerate(self.instrs)
+                if isinstance(instr, Label)
+            }
+        try:
+            return self._labels[name]
+        except KeyError:
+            raise MachineError(f"{self.name}: unknown label {name!r}") from None
+
+    def instruction_mix(self) -> dict[str, int]:
+        """Static mnemonic histogram (labels excluded) — the per-function
+        payload of the ``codegen.function`` trace event."""
+        mix: dict[str, int] = {}
+        for instr in self.instrs:
+            if isinstance(instr, Label):
+                continue
+            m = mnemonic(instr)
+            mix[m] = mix.get(m, 0) + 1
+        return mix
+
+    def __repr__(self) -> str:
+        return (
+            f"MFunction({self.name!r}, {len(self.instrs)} instrs, "
+            f"nregs={self.nregs})"
+        )
+
+
+class MProgram:
+    """A whole compiled program: functions plus the initial data image
+    (word address -> value) of the global segment."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self.functions: dict[str, MFunction] = {}
+        self.data: dict[int, Value] = {}
+
+    def add(self, mf: MFunction) -> MFunction:
+        if mf.name in self.functions:
+            raise CodegenError(f"function {mf.name} emitted twice")
+        self.functions[mf.name] = mf
+        return mf
+
+    def function(self, name: str) -> MFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise MachineError(f"program has no function {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"MProgram({self.name!r}, {len(self.functions)} functions)"

@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.machine.counters import Counters
 from repro.machine.cpu import MachineConfig, MachineResult
+from repro.obs import JsonlSink, TraceContext
 from repro.pipeline import (
     CompileOutput,
     CompilerOptions,
@@ -136,14 +137,20 @@ def _run_mode(
     label: str,
     options: CompilerOptions,
     expected_output: list[str],
+    obs: Optional[TraceContext] = None,
 ) -> ModeResult:
     output = compile_source(
         workload.source,
         options,
         train_args=list(workload.train_args),
         name=workload.name,
+        obs=obs,
     )
-    machine = output.run(list(workload.ref_args))
+    try:
+        machine = output.run(list(workload.ref_args))
+    finally:
+        if obs is not None:
+            obs.close()
     if machine.output != expected_output:
         raise AssertionError(
             f"{workload.name}/{label}: output mismatch vs reference\n"
@@ -158,12 +165,28 @@ def run_benchmark(
     machine_config: Optional[MachineConfig] = None,
     extra_modes: Optional[dict[str, CompilerOptions]] = None,
     use_cache: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> BenchmarkResult:
-    """Measure one benchmark: baseline + speculative (+ extras)."""
+    """Measure one benchmark: baseline + speculative (+ extras).
+
+    With ``trace_dir`` set, every mode run streams its structured event
+    trace to ``{trace_dir}/{benchmark}.{mode}.jsonl``.
+    """
     key = (name, id(machine_config) if machine_config else None,
-           tuple(sorted(extra_modes)) if extra_modes else None)
+           tuple(sorted(extra_modes)) if extra_modes else None,
+           trace_dir)
     if use_cache and key in _cache:
         return _cache[key]
+
+    def _obs(label: str) -> Optional[TraceContext]:
+        if trace_dir is None:
+            return None
+        import os
+
+        os.makedirs(trace_dir, exist_ok=True)
+        return TraceContext(
+            JsonlSink(os.path.join(trace_dir, f"{name}.{label}.jsonl"))
+        )
 
     workload = get_workload(name)
     reference = run_program(workload.source, list(workload.ref_args))
@@ -176,13 +199,20 @@ def run_benchmark(
 
     result = BenchmarkResult(
         workload,
-        baseline=_run_mode(workload, "baseline", base_opts, reference.output),
-        speculative=_run_mode(workload, "speculative", spec_opts, reference.output),
+        baseline=_run_mode(
+            workload, "baseline", base_opts, reference.output, _obs("baseline")
+        ),
+        speculative=_run_mode(
+            workload, "speculative", spec_opts, reference.output,
+            _obs("speculative"),
+        ),
     )
     for label, options in (extra_modes or {}).items():
         if machine_config is not None:
             options.machine = machine_config
-        result.extras[label] = _run_mode(workload, label, options, reference.output)
+        result.extras[label] = _run_mode(
+            workload, label, options, reference.output, _obs(label)
+        )
 
     if use_cache:
         _cache[key] = result
@@ -191,8 +221,10 @@ def run_benchmark(
 
 def run_all_benchmarks(
     machine_config: Optional[MachineConfig] = None,
+    trace_dir: Optional[str] = None,
 ) -> dict[str, BenchmarkResult]:
     """All ten benchmarks, in the paper's reporting order."""
     return {
-        name: run_benchmark(name, machine_config) for name in BENCHMARKS
+        name: run_benchmark(name, machine_config, trace_dir=trace_dir)
+        for name in BENCHMARKS
     }

@@ -1,0 +1,287 @@
+"""Observability subsystem: sinks, trace context, pipeline/simulator
+event streams, metrics aggregation — and the zero-overhead-when-off
+contract (tracing must not perturb simulated counters at all)."""
+
+import io
+import json
+
+import pytest
+
+from repro.machine.alat import ALAT, ALATConfig
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    NULL_SINK,
+    NullSink,
+    TraceContext,
+    build_metrics,
+    format_summary,
+    make_sink,
+    misspeculation_breakdown,
+    read_jsonl,
+)
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+
+# A conflicting-store loop: trained on the no-conflict path (n <= 100)
+# the profile decider picks ALAT speculation; run on the conflicting
+# path every iteration's store collides, so the trace contains the full
+# alat.allocate / alat.collision / alat.check story.
+CONFLICT_SRC = """
+int a;
+int b;
+int *p;
+
+int main(int n) {
+    if (n > 100) { p = &a; } else { p = &b; }
+    a = 7;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        s = s + a;
+        *p = s;
+        s = s + a;
+        i = i + 1;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+SPEC_OPTS = dict(
+    options=CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+    train_args=[10],
+)
+
+
+def traced_run(args, snapshot_every=0):
+    sink = MemorySink()
+    obs = TraceContext(sink, snapshot_every=snapshot_every)
+    out = compile_source(CONFLICT_SRC, obs=obs, **SPEC_OPTS)
+    result = out.run(args)
+    return sink, out, result
+
+
+# -- sinks ---------------------------------------------------------------
+
+
+def test_null_sink_is_disabled_and_shared():
+    assert NULL_SINK.enabled is False
+    assert NullSink().enabled is False
+    # TraceContext defaults to it
+    assert TraceContext().enabled is False
+
+
+def test_memory_sink_collects_and_filters():
+    sink = MemorySink()
+    obs = TraceContext(sink)
+    obs.event("a", x=1)
+    obs.event("b", y=2)
+    obs.event("a", x=3)
+    assert [e["x"] for e in sink.of_type("a")] == [1, 3]
+    assert [e["seq"] for e in sink.events] == [1, 2, 3]
+
+
+def test_jsonl_round_trip():
+    buf = io.StringIO()
+    obs = TraceContext(JsonlSink(buf))
+    obs.event("alat.check", tag=(1, 4), hit=False, clear=True)
+    with obs.phase("pre"):
+        pass
+    events = read_jsonl(buf.getvalue())
+    assert [e["event"] for e in events] == [
+        "alat.check", "phase.begin", "phase.end",
+    ]
+    # tuples become lists, but nothing else is mangled
+    assert events[0]["tag"] == [1, 4]
+    assert events[0]["hit"] is False
+    assert events[2]["wall_ms"] >= 0
+
+
+def test_jsonl_sink_file_and_make_sink(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = make_sink(str(path))
+    assert isinstance(sink, JsonlSink)
+    with TraceContext(sink) as obs:
+        obs.event("sim.begin", program="t")
+    events = read_jsonl(str(path))
+    assert events == [{"seq": 1, "event": "sim.begin", "program": "t"}]
+    assert make_sink(None) is NULL_SINK
+    assert make_sink("") is NULL_SINK
+
+
+def test_trace_context_disabled_emits_nothing_but_times_phases():
+    obs = TraceContext()
+    with obs.phase("frontend"):
+        pass
+    obs.event("spec.decision", verdict="alat")
+    assert obs.seq == 0
+    assert "frontend" in obs.phase_times
+
+
+# -- full-pipeline event stream -----------------------------------------
+
+
+def test_event_ordering_across_compile_and_run():
+    sink, out, result = traced_run([150])
+    events = sink.events
+    # seq numbers are strictly increasing and 1-based
+    assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+
+    names = [e["event"] for e in events]
+    # compilation phases open/close in pipeline order, then simulation
+    begins = [e["phase"] for e in events if e["event"] == "phase.begin"]
+    assert begins[0] == "frontend"
+    assert begins[-1] == "simulate"
+    assert begins.index("pre") < begins.index("codegen") < begins.index("simulate")
+    assert set(begins) <= set(out.obs.phase_times)
+
+    # every phase.begin has a matching phase.end
+    opened = []
+    for e in events:
+        if e["event"] == "phase.begin":
+            opened.append(e["phase"])
+        elif e["event"] == "phase.end":
+            assert opened.pop() == e["phase"]
+    assert opened == []
+
+    # speculation decisions happen inside the pre phase
+    pre_begin = next(e["seq"] for e in events
+                     if e["event"] == "phase.begin" and e["phase"] == "pre")
+    pre_end = next(e["seq"] for e in events
+                   if e["event"] == "phase.end" and e["phase"] == "pre")
+    decisions = sink.of_type("spec.decision")
+    assert decisions, "profile decider verdicts must be traced"
+    assert all(pre_begin < e["seq"] < pre_end for e in decisions)
+    assert all(e["verdict"] in ("alat", "soft", None) for e in decisions)
+
+    # the transformation's surviving annotations are reported
+    lowered = {e["flag"] for e in sink.of_type("spec.lowered")}
+    assert "ld.a" in lowered or "ld.sa" in lowered
+
+    # codegen reports per-function instruction mixes
+    cg = sink.of_type("codegen.function")
+    assert {e["function"] for e in cg} == {"main"}
+    assert cg[0]["instructions"] > 0
+
+    # simulation brackets the machine events
+    sim_begin = next(e["seq"] for e in events if e["event"] == "sim.begin")
+    sim_end = next(e["seq"] for e in events if e["event"] == "sim.end")
+    machine_events = [e for e in events
+                      if e["event"].startswith(("alat.", "cache.", "rse."))]
+    assert machine_events
+    assert all(sim_begin < e["seq"] < sim_end for e in machine_events)
+    assert events[sim_end - 1]["exit_value"] == result.exit_value
+    assert events[sim_end - 1]["cycles"] == result.counters.cpu_cycles
+
+
+def test_alat_events_match_stats():
+    sink, out, result = traced_run([150])
+    stats = result.alat_stats
+    assert len(sink.of_type("alat.allocate")) == stats.allocations
+    assert len(sink.of_type("alat.collision")) == stats.store_collisions
+    assert len(sink.of_type("alat.evict")) == stats.capacity_evictions
+    checks = sink.of_type("alat.check")
+    assert len(checks) == stats.check_hits + stats.check_misses
+    assert sum(1 for e in checks if e["hit"]) == stats.check_hits
+    assert stats.store_collisions > 0, "conflict run must collide"
+    # events carry the instruction index and the register tag
+    for e in sink.of_type("alat.collision"):
+        assert e["instr"] > 0
+        serial, reg = e["tag"]
+        assert serial >= 1 and reg >= 0
+
+
+def test_misspeculation_breakdown_attributes_collisions():
+    sink, out, result = traced_run([150])
+    breakdown = misspeculation_breakdown(sink.events)
+    assert breakdown["collision"] == result.counters.check_failures
+    assert breakdown["hits"] == result.alat_stats.check_hits
+    assert breakdown["capacity"] == 0
+
+
+def test_counters_snapshots_are_periodic():
+    sink, out, result = traced_run([150], snapshot_every=100)
+    snaps = sink.of_type("counters.snapshot")
+    expected = result.counters.instructions // 100
+    assert len(snaps) == expected
+    # monotone time series
+    cycles = [s["instructions"] for s in snaps]
+    assert cycles == sorted(cycles)
+    assert snaps[-1]["retired_loads"] <= result.counters.retired_loads
+
+
+# -- the zero-overhead contract -----------------------------------------
+
+
+def test_tracing_does_not_perturb_simulated_counters():
+    sink, _, traced = traced_run([150], snapshot_every=50)
+    plain_out = compile_source(CONFLICT_SRC, **SPEC_OPTS)
+    plain = plain_out.run([150])
+    assert traced.output == plain.output
+    assert traced.exit_value == plain.exit_value
+    assert traced.counters.as_dict() == plain.counters.as_dict()
+    from dataclasses import asdict
+
+    assert asdict(traced.alat_stats) == asdict(plain.alat_stats)
+    assert asdict(traced.cache_stats) == asdict(plain.cache_stats)
+    assert asdict(traced.rse_stats) == asdict(plain.rse_stats)
+    # and the untraced run retained no events anywhere
+    assert plain_out.obs.seq == 0
+    assert sink.events  # while the traced one obviously did
+
+
+def test_untraced_run_installs_no_observers():
+    out = compile_source(CONFLICT_SRC, **SPEC_OPTS)
+    from repro.machine.cpu import Simulator
+
+    sim = Simulator(out.program, out.options.machine)
+    sim.run([150])
+    assert sim.alat.observer is None
+    assert sim.cache.observer is None
+    assert sim.rse.observer is None
+
+
+# -- invalidate accounting (invala.e) -----------------------------------
+
+
+def test_invalidate_entry_counts_attempts_and_drops_separately():
+    alat = ALAT(ALATConfig())
+    assert alat.invalidate_entry((1, 5)) is False  # nothing there
+    alat.allocate((1, 5), 0x1000)
+    assert alat.invalidate_entry((1, 5)) is True
+    assert alat.invalidate_entry((1, 5)) is False  # already gone
+    assert alat.stats.explicit_invalidations == 3
+    assert alat.stats.explicit_drops == 1
+    assert alat.occupancy == 0
+
+
+# -- metrics -------------------------------------------------------------
+
+
+def test_build_metrics_and_summary():
+    sink, out, result = traced_run([150])
+    metrics = build_metrics(out, result)
+    assert metrics["options"].startswith("-O3")
+    assert metrics["counters"]["check_failures"] == result.counters.check_failures
+    assert metrics["alat"]["store_collisions"] == result.alat_stats.store_collisions
+    assert set(metrics["phase_wall_ms"]) >= {"frontend", "pre", "codegen", "simulate"}
+    assert metrics["exit_value"] == result.exit_value
+    # JSON-serialisable as-is
+    text = json.dumps(metrics)
+    summary = format_summary(json.loads(text))
+    assert "ALAT" in summary and "store_collisions=" in summary
+    assert "phases" in summary
+
+
+def test_counters_as_dict_tracks_dataclass_fields():
+    from repro.machine.counters import Counters
+
+    c = Counters(check_instructions=10, check_failures=3, retired_loads=90)
+    d = c.as_dict()
+    assert d["check_failures"] == 3
+    assert "cpu_cycles" in d
+    # every dataclass field is present — no hand-maintained list to rot
+    import dataclasses
+
+    assert set(d) == {f.name for f in dataclasses.fields(Counters)}
+    assert "retired_advanced_loads" in d
