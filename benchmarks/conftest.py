@@ -10,6 +10,13 @@ Observability: every session also dumps per-mode run metrics
 (``results/metrics.json``, via ``repro.obs.build_metrics``).  Set
 ``REPRO_BENCH_TRACE=1`` to additionally stream every benchmark run's
 structured event trace to ``results/traces/<bench>.<mode>.jsonl``.
+
+Regression gate: set ``REPRO_BENCH_HISTORY=1`` to append each run's
+tracked counters to ``benchmarks/history/<bench>.jsonl`` and flag any
+counter that regressed past the threshold against the previous record
+(or point it at an alternate history directory).  The report is echoed
+at session end; flags never fail the figure tests themselves — CI gates
+separately via ``python -m repro.obs.regress``.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+HISTORY_DIR = pathlib.Path(__file__).parent / "history"
 
 _tables: dict[str, str] = {}
+_gate_report = None
 
 
 def publish_table(name: str, table: str) -> None:
@@ -33,17 +42,22 @@ def publish_table(name: str, table: str) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _tables:
+    if not _tables and _gate_report is None:
         return
     tw = getattr(session.config, "get_terminal_writer", lambda: None)()
     emit = tw.line if tw is not None else print
-    emit("")
-    emit("=" * 78)
-    emit("Reproduced evaluation figures (also in benchmarks/results/)")
-    emit("=" * 78)
-    for name in sorted(_tables):
+    if _tables:
         emit("")
-        for line in _tables[name].splitlines():
+        emit("=" * 78)
+        emit("Reproduced evaluation figures (also in benchmarks/results/)")
+        emit("=" * 78)
+        for name in sorted(_tables):
+            emit("")
+            for line in _tables[name].splitlines():
+                emit(line)
+    if _gate_report is not None:
+        emit("")
+        for line in _gate_report.format().splitlines():
             emit(line)
 
 
@@ -77,4 +91,13 @@ def all_results():
     (RESULTS_DIR / "metrics.json").write_text(
         json.dumps(metrics, indent=2) + "\n"
     )
+
+    history = os.environ.get("REPRO_BENCH_HISTORY")
+    if history:
+        from repro.workloads import gate_results
+
+        history_dir = str(HISTORY_DIR) if history == "1" else history
+        global _gate_report
+        _gate_report = gate_results(results, history_dir)
+
     return results

@@ -11,7 +11,10 @@ arguments, compilation at the chosen level/speculation mode, simulation
 on the main arguments, and pfmon-style counter output.  ``--trace``
 streams the structured event log (JSONL; ``-`` for stdout),
 ``--metrics-out`` writes the aggregated metrics JSON, and ``--summary``
-prints the human-readable report.
+prints the human-readable report.  ``--profile`` prints the
+perf-annotate-style source listing (cycle attribution + ALAT site
+stats); ``--diff-baseline`` additionally compiles with speculation off
+and prints the baseline-vs-speculative comparison.
 """
 
 from __future__ import annotations
@@ -20,7 +23,15 @@ import argparse
 import json
 import sys
 
-from repro.obs import TraceContext, build_metrics, format_summary, make_sink
+from repro.obs import (
+    ProfileReport,
+    TraceContext,
+    build_metrics,
+    diff_runs,
+    format_diff,
+    format_summary,
+    make_sink,
+)
 from repro.pipeline import (
     CompilerOptions,
     OptLevel,
@@ -102,6 +113,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the human-readable metrics summary",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute retired cycles and ALAT events to MiniC source "
+        "lines and print the annotated listing",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --profile: rows in the hot-lines table (default 10)",
+    )
+    parser.add_argument(
+        "--diff-baseline",
+        action="store_true",
+        help="also compile with speculation off and print the "
+        "baseline-vs-speculative diff (cycles, loads, check overhead)",
+    )
     return parser
 
 
@@ -130,11 +160,40 @@ def main(argv: list[str] | None = None) -> int:
             print(format_program(output.program))
             print()
 
-        result = output.run(list(args.args))
+        want_profile = args.profile or args.diff_baseline
+        result = output.run(list(args.args), profile=want_profile)
+
+        base_result = None
+        if args.diff_baseline:
+            base_options = CompilerOptions(
+                opt_level=OptLevel(args.opt),
+                spec_mode=SpecMode.NONE,
+                rounds=args.rounds,
+            )
+            # Baseline compiles under its own (disabled) trace context so
+            # the main trace records exactly one compilation.
+            base_output = compile_source(
+                source, base_options, train_args=train, name=args.file
+            )
+            base_result = base_output.run(list(args.args), profile=True)
+
+        report = None
+        if args.profile and result.profile is not None:
+            report = ProfileReport(result.profile, source, result.counters)
+            report.emit_events(obs)
     finally:
         obs.close()
     for line in result.output:
         print(line)
+
+    if report is not None:
+        print(report.render(top=args.profile_top), file=sys.stderr)
+
+    if base_result is not None:
+        print(
+            format_diff(diff_runs(base_result, result)),
+            file=sys.stderr,
+        )
 
     if args.verify:
         reference = run_program(source, list(args.args))

@@ -69,6 +69,9 @@ class FunctionBuilder:
         self.fn = fn
         self.module = module
         self.current: BasicBlock = fn.new_block("entry") if not fn.blocks else fn.blocks[-1]
+        #: debug location stamped onto every emitted statement; the MiniC
+        #: lowerer updates this per source statement (None = no stamping)
+        self.cur_loc = None
 
     # -- blocks ---------------------------------------------------------
 
@@ -139,6 +142,8 @@ class FunctionBuilder:
     # -- statements -------------------------------------------------------
 
     def emit(self, stmt):
+        if self.cur_loc is not None and stmt.loc is None:
+            stmt.loc = self.cur_loc
         return self.current.append(stmt)
 
     def assign(self, target: Variable, value) -> Assign:

@@ -1,0 +1,40 @@
+"""Debug locations: where in the MiniC source an IR statement (and the
+machine instructions lowered from it) came from.
+
+A :class:`Loc` is stamped onto every :class:`~repro.ir.stmt.Stmt` by the
+frontend (``minic/lower.py``), preserved across the PRE/optimisation
+rewrites, and copied onto every :class:`~repro.target.isa.MInstr` by the
+code generator.  The profiler (``repro.obs.profile``) uses it to
+attribute retired cycles, ALAT collisions and check failures back to
+source lines — the paper's Figures 8–10 are attributional and need
+exactly this plumbing.
+
+Inheritance rules across rewrites (documented here because they are a
+contract, not an accident):
+
+* a check statement inherits the loc of the *store it guards*;
+* recovery code inherits the loc of the *leading load* it re-executes
+  (falling back to the check's loc when the leading load is unknown);
+* compiler-inserted statements with no better anchor (edge insertions,
+  invala.e) inherit the loc of the terminator / anchor statement they
+  are placed next to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A source position: file (module name), 1-based line, 1-based
+    column.  Column 0 means "whole line" (synthesised statements)."""
+
+    file: str
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        if self.col:
+            return f"{self.file}:{self.line}:{self.col}"
+        return f"{self.file}:{self.line}"

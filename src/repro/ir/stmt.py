@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import IRError
 from repro.ir.expr import AddrOf, Expr, Load, VarRead, walk_expr
+from repro.ir.loc import Loc
 from repro.ir.symbols import Variable
 from repro.ir.types import Type
 
@@ -72,6 +73,9 @@ class Stmt:
         block: back-pointer to the owning basic block (set on insertion).
         mu_list / chi_list: HSSA may-use / may-def annotations, filled by
             SSA construction (empty before it runs).
+        loc: source debug location, stamped by the frontend and inherited
+            across rewrites (see :mod:`repro.ir.loc`); ``None`` for IR
+            built without source (hand-built tests).
     """
 
     def __init__(self) -> None:
@@ -79,6 +83,7 @@ class Stmt:
         self.block: Optional["BasicBlock"] = None
         self.mu_list: list = []
         self.chi_list: list = []
+        self.loc: Optional[Loc] = None
 
     @property
     def is_terminator(self) -> bool:

@@ -37,6 +37,7 @@ from repro.machine.alat import ALAT, ALATConfig
 from repro.machine.cache import CacheConfig, CacheHierarchy
 from repro.machine.counters import Counters
 from repro.machine.rse import RegisterStackEngine, RSEConfig
+from repro.obs.profile import RunProfile
 from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.target.isa import (
     AllocH,
@@ -91,6 +92,7 @@ class MachineResult:
         alat: ALAT,
         cache: CacheHierarchy,
         rse: RegisterStackEngine,
+        profile: Optional[RunProfile] = None,
     ) -> None:
         self.exit_value = exit_value
         self.output = output
@@ -98,6 +100,8 @@ class MachineResult:
         self.alat_stats = alat.stats
         self.cache_stats = cache.stats
         self.rse_stats = rse.stats
+        #: attribution data (``None`` unless the run was profiled)
+        self.profile = profile
 
     @property
     def output_text(self) -> str:
@@ -130,6 +134,7 @@ class Simulator:
         program: MProgram,
         config: Optional[MachineConfig] = None,
         obs: Optional[TraceContext] = None,
+        profile: bool = False,
     ) -> None:
         self.program = program
         self.config = config or MachineConfig()
@@ -149,6 +154,13 @@ class Simulator:
         self.retired_direct_loads = 0
         if self.obs.enabled:
             self._attach_observers()
+        #: attribution collector; ``None`` keeps the hot loop on the
+        #: exact unprofiled path (profiling never mutates simulator
+        #: state, so counters stay bit-identical either way)
+        self.profile: Optional[RunProfile] = None
+        if profile:
+            self.profile = RunProfile(program, self._w)
+            self._attach_profile_observer()
 
     def _attach_observers(self) -> None:
         """Hook the machine components into the trace context.
@@ -169,6 +181,22 @@ class Simulator:
         self.cache.observer = machine_observer
         self.rse.observer = machine_observer
 
+    def _attach_profile_observer(self) -> None:
+        """Route ALAT events into the profiler (collisions/evictions are
+        store-initiated, so only the observer channel carries the tag of
+        the entry that died).  Composes with the trace observer when
+        both are active."""
+        prof = self.profile
+        assert prof is not None
+        prev = self.alat.observer
+
+        def profile_observer(name: str, **fields) -> None:
+            if prev is not None:
+                prev(name, **fields)
+            prof.alat_event(name, fields)
+
+        self.alat.observer = profile_observer
+
     # -- public API -----------------------------------------------------
 
     def run(self, args: Optional[list[Value]] = None) -> MachineResult:
@@ -180,6 +208,8 @@ class Simulator:
         result = self._run_function(main, list(args or []))
         self.counters.rse_cycles = self.rse.stats.rse_cycles
         self.counters.cpu_cycles = self.time // self._w
+        if self.profile is not None:
+            self.profile.total_slots = self.time
         exit_value = int(result) if result is not None else 0
         if self.obs.enabled:
             self.obs.event(
@@ -190,7 +220,8 @@ class Simulator:
                 instructions=self.counters.instructions,
             )
         return MachineResult(
-            exit_value, self.output, self.counters, self.alat, self.cache, self.rse
+            exit_value, self.output, self.counters, self.alat, self.cache,
+            self.rse, profile=self.profile,
         )
 
     # -- helpers ----------------------------------------------------------
@@ -238,6 +269,10 @@ class Simulator:
         # retired instruction and nothing else.
         obs = self.obs
         snap = obs.snapshot_every
+        # Profiling state, hoisted like the tracing state: ``prof`` is
+        # None on unprofiled runs, costing one falsy check per retired
+        # instruction and nothing else.
+        prof = self.profile
 
         while True:
             if pc >= len(instrs):
@@ -257,11 +292,18 @@ class Simulator:
 
             # issue: wait for source operands
             start = self.time
+            t0 = start
             for r in instr.reads():
                 t = frame.ready.get(r)
                 if t is not None and t > start:
                     start = t
             self.time = start + 1  # one issue slot
+            if prof is not None:
+                # operand-stall + issue slots; penalty slots charged in
+                # the dispatch arms are added at their charge sites, so
+                # the per-instruction sums tile self.time exactly (a
+                # call's callee self-attributes its own instructions)
+                prof.retire(instr, self.time - t0)
 
             # execute
             if isinstance(instr, MovI):
@@ -290,10 +332,16 @@ class Simulator:
             elif isinstance(instr, ChkA):
                 counters.check_instructions += 1
                 tag = (frame.serial, instr.rd)
-                if not self.alat.check(tag, instr.clear):
+                ok = self.alat.check(tag, instr.clear)
+                if prof is not None:
+                    prof.check(tag, instr, ok)
+                if not ok:
                     counters.check_failures += 1
                     counters.recovery_cycles += self.config.recovery_penalty
                     self._charge_cycles(self.config.recovery_penalty)
+                    if prof is not None:
+                        prof.add_slots(instr, self.config.recovery_penalty * w)
+                        prof.recovery(tag, instr, self.config.recovery_penalty)
                     pc = mf.label_index(instr.recovery_label)
             elif isinstance(instr, InvalaE):
                 counters.explicit_invalidations += 1
@@ -313,6 +361,8 @@ class Simulator:
                     counters.retired_loads += 1
                     counters.predicated_reloads += 1
                     counters.data_access_cycles += latency
+                    if prof is not None:
+                        prof.add_data(instr, latency)
                     if instr.indirect:
                         counters.retired_indirect_loads += 1
                     else:
@@ -321,11 +371,15 @@ class Simulator:
                 pc = mf.label_index(instr.label)
                 counters.branches += 1
                 self._charge_cycles(self.config.branch_penalty)
+                if prof is not None:
+                    prof.add_slots(instr, self.config.branch_penalty * w)
             elif isinstance(instr, Brnz):
                 counters.branches += 1
                 if self._read_reg(frame, instr.rs):
                     pc = mf.label_index(instr.label)
                     self._charge_cycles(self.config.branch_penalty)
+                    if prof is not None:
+                        prof.add_slots(instr, self.config.branch_penalty * w)
             elif isinstance(instr, CallF):
                 counters.calls += 1
                 callee = self.program.function(instr.callee)
@@ -383,19 +437,26 @@ class Simulator:
         frame.ready[instr.rd] = start + self._w * latency
         counters.retired_loads += 1
         counters.data_access_cycles += latency
+        if self.profile is not None:
+            self.profile.add_data(instr, latency)
         if instr.indirect:
             counters.retired_indirect_loads += 1
         else:
             self.retired_direct_loads += 1
         if instr.kind in (LoadKind.ADVANCED, LoadKind.SPEC_ADVANCED):
             counters.retired_advanced_loads += 1
+            if self.profile is not None:
+                self.profile.bind_tag((frame.serial, instr.rd), instr)
             self.alat.allocate((frame.serial, instr.rd), addr)
 
     def _do_check_load(self, frame: _Frame, instr: LdC, start: int) -> None:
         counters = self.counters
         counters.check_instructions += 1
         tag = (frame.serial, instr.rd)
-        if self.alat.check(tag, instr.clear):
+        hit = self.alat.check(tag, instr.clear)
+        if self.profile is not None:
+            self.profile.check(tag, instr, hit)
+        if hit:
             # Check succeeded: zero cost, register already holds the
             # value (the paper's "processed like no-ops").
             return
@@ -412,11 +473,15 @@ class Simulator:
         frame.ready[instr.rd] = start + self._w * latency
         counters.retired_loads += 1
         counters.data_access_cycles += latency
+        if self.profile is not None:
+            self.profile.add_data(instr, latency)
         if instr.indirect:
             counters.retired_indirect_loads += 1
         else:
             self.retired_direct_loads += 1
         if not instr.clear:
+            if self.profile is not None:
+                self.profile.bind_tag(tag, instr)
             self.alat.allocate(tag, addr)
 
     # -- ALU semantics ----------------------------------------------------------
@@ -484,6 +549,7 @@ def run_machine(
     args: Optional[list[Value]] = None,
     config: Optional[MachineConfig] = None,
     obs: Optional[TraceContext] = None,
+    profile: bool = False,
 ) -> MachineResult:
     """Convenience wrapper."""
-    return Simulator(program, config, obs=obs).run(args)
+    return Simulator(program, config, obs=obs, profile=profile).run(args)

@@ -20,6 +20,7 @@ from typing import Optional, Union
 from repro.errors import SemanticError
 from repro.ir.builder import FunctionBuilder
 from repro.ir.cfg import BasicBlock
+from repro.ir.loc import Loc
 from repro.ir.expr import (
     AddrOf,
     BinOp,
@@ -94,6 +95,7 @@ class _FunctionLowerer:
         self.fn = Function(fndef.name, params, sig.return_type)
         module.add_function(self.fn)
         self.b = FunctionBuilder(self.fn, module)
+        self.file = module.name
         # (break_target, continue_target) stack
         self.loop_stack: list[tuple[BasicBlock, BasicBlock]] = []
 
@@ -124,6 +126,10 @@ class _FunctionLowerer:
             self._stmt(stmt)
 
     def _stmt(self, stmt: A.StmtNode) -> None:
+        # Every IR statement emitted while lowering this source statement
+        # (including address computations and implicit control flow) is
+        # attributed to its source position.
+        self.b.cur_loc = Loc(self.file, stmt.pos.line, stmt.pos.column)
         if isinstance(stmt, A.DeclStmt):
             var = stmt.symbol
             assert isinstance(var, Variable)

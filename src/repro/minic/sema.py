@@ -110,7 +110,19 @@ class _Analyzer:
             raise SemanticError("program has no main function")
         main = self.func_sigs["main"]
         if not all(_is_numeric(t) or t.is_pointer for t in main.param_types):
-            raise SemanticError("main parameters must be scalars")
+            main_def = next(
+                f for f in self.program.functions if f.name == "main"
+            )
+            bad = next(
+                p
+                for p, t in zip(main_def.params, main.param_types)
+                if not (_is_numeric(t) or t.is_pointer)
+            )
+            raise SemanticError(
+                f"main parameter {bad.name!r} must be a scalar",
+                bad.pos.line,
+                bad.pos.column,
+            )
         return ProgramInfo(self.module, self.func_sigs, self.program)
 
     # -- declarations -----------------------------------------------------
@@ -307,7 +319,9 @@ class _Analyzer:
                     )
             else:
                 vt = self.check_expr(stmt.value)
-                self._require_assignable(self.current_return, vt, stmt.value, stmt.pos)
+                self._require_assignable(
+                    self.current_return, vt, stmt.value, context="return value"
+                )
         elif isinstance(stmt, A.BreakStmt):
             if self.loop_depth == 0:
                 raise SemanticError("break outside loop", stmt.pos.line, stmt.pos.column)
@@ -333,7 +347,7 @@ class _Analyzer:
         decl.symbol = var
         if decl.init is not None:
             it = self.check_expr(decl.init)
-            self._require_assignable(ty, it, decl.init, decl.pos)
+            self._require_assignable(ty, it, decl.init, context="initializer")
         # Define after checking the initializer so `int x = x;` fails.
         self.scope.define(decl.name, var, decl.pos)
 
@@ -341,7 +355,7 @@ class _Analyzer:
         lt = self.check_expr(stmt.lvalue)
         self._require_lvalue(stmt.lvalue)
         vt = self.check_expr(stmt.value)
-        self._require_assignable(lt, vt, stmt.value, stmt.pos)
+        self._require_assignable(lt, vt, stmt.value)
 
     def _require_lvalue(self, node: A.ExprNode) -> None:
         if isinstance(node, A.Ident):
@@ -365,8 +379,12 @@ class _Analyzer:
             )
 
     def _require_assignable(
-        self, target: Type, value: Type, value_node: A.ExprNode, pos: A.Pos
+        self, target: Type, value: Type, value_node: A.ExprNode,
+        context: str = "",
     ) -> None:
+        """Check ``value`` converts to ``target``; the error points at
+        the offending *value expression* (its own line and column), not
+        at the start of the enclosing statement."""
         if _is_intlike(target) and _is_intlike(value):
             return
         if isinstance(target, FloatType) and _is_numeric(value):
@@ -375,7 +393,12 @@ class _Analyzer:
             return
         if types_compatible(target, value):
             return
-        raise SemanticError(f"cannot assign {value} to {target}", pos.line, pos.column)
+        where = f" in {context}" if context else ""
+        raise SemanticError(
+            f"cannot assign {value} to {target}{where}",
+            value_node.pos.line,
+            value_node.pos.column,
+        )
 
     # -- expressions ----------------------------------------------------------
 
@@ -565,9 +588,11 @@ class _Analyzer:
                 node.pos.line,
                 node.pos.column,
             )
-        for arg, pt in zip(node.args, sig.param_types):
+        for i, (arg, pt) in enumerate(zip(node.args, sig.param_types), start=1):
             at = self.check_expr(arg)
-            self._require_assignable(pt, at, arg, node.pos)
+            self._require_assignable(
+                pt, at, arg, context=f"argument {i} of {node.callee}"
+            )
         return sig.return_type
 
 

@@ -6,7 +6,14 @@ The subsystem has three layers:
 * :mod:`repro.obs.trace` — the :class:`TraceContext` threaded through
   ``compile_source`` and the simulator (phase timers, speculation
   decisions, ALAT/cache/RSE events, counter snapshots);
-* :mod:`repro.obs.report` — metrics aggregation and the human summary.
+* :mod:`repro.obs.report` — metrics aggregation and the human summary;
+* :mod:`repro.obs.profile` — per-instruction cycle attribution and the
+  perf-annotate-style source listing (:class:`RunProfile`,
+  :class:`ProfileReport`);
+* :mod:`repro.obs.diff` — baseline-vs-speculative run comparison
+  (Figure 8 shape);
+* :mod:`repro.obs.regress` — benchmark history (JSONL) + regression
+  gate, also a CLI (``python -m repro.obs.regress``).
 
 The default everywhere is :data:`NULL_TRACE`, whose sink reports
 ``enabled = False``; producers skip event construction entirely, so an
@@ -14,6 +21,8 @@ untraced run is bit-identical (in simulated counters) to one before
 this subsystem existed.
 """
 
+from repro.obs.diff import diff_runs, format_diff
+from repro.obs.profile import ProfileReport, RunProfile
 from repro.obs.report import build_metrics, format_summary, misspeculation_breakdown
 from repro.obs.sinks import (
     NULL_SINK,
@@ -26,16 +35,37 @@ from repro.obs.sinks import (
 )
 from repro.obs.trace import NULL_TRACE, TraceContext
 
+#: regress is also an entry point (``python -m repro.obs.regress``);
+#: re-exporting lazily keeps runpy from double-importing it.
+_REGRESS_EXPORTS = ("GateReport", "gate_metrics", "gate_records", "make_record")
+
+
+def __getattr__(name: str):
+    if name in _REGRESS_EXPORTS:
+        from repro.obs import regress
+
+        return getattr(regress, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "GateReport",
     "JsonlSink",
     "MemorySink",
     "NULL_SINK",
     "NULL_TRACE",
     "NullSink",
+    "ProfileReport",
+    "RunProfile",
     "Sink",
     "TraceContext",
     "build_metrics",
+    "diff_runs",
+    "format_diff",
     "format_summary",
+    "gate_metrics",
+    "gate_records",
+    "make_record",
     "make_sink",
     "misspeculation_breakdown",
     "read_jsonl",

@@ -1,0 +1,120 @@
+"""Differential run comparison: baseline (speculation off) vs the
+speculative build of the same program — the shape of the paper's
+Figure 8 (cycle / data-access / load reductions) plus the speculation
+cost side (check overhead, recovery cycles) and, when both runs were
+profiled, per-function cycle deltas.
+
+Consumes two :class:`repro.machine.cpu.MachineResult` objects
+duck-typed (``counters`` + optional ``profile``), so it imports nothing
+from the machine layer.
+"""
+
+from __future__ import annotations
+
+
+def _reduction_pct(base: float, spec: float) -> float:
+    return 100.0 * (base - spec) / base if base else 0.0
+
+
+def diff_runs(baseline, speculative) -> dict:
+    """Compare a baseline run against a speculative run.
+
+    Returns a JSON-ready dict.  ``cycle_delta`` is computed from the
+    simulated counters; ``per_function`` (present when both runs carried
+    a :class:`~repro.obs.profile.RunProfile`) re-derives the same delta
+    from per-instruction attribution — the two agree to within rounding
+    because attribution tiles the slot clock exactly.
+    """
+    b = baseline.counters
+    s = speculative.counters
+    out: dict = {
+        "cycles": {
+            "baseline": b.cpu_cycles,
+            "speculative": s.cpu_cycles,
+            "delta": b.cpu_cycles - s.cpu_cycles,
+            "reduction_pct": _reduction_pct(b.cpu_cycles, s.cpu_cycles),
+        },
+        "data_access_cycles": {
+            "baseline": b.data_access_cycles,
+            "speculative": s.data_access_cycles,
+            "delta": b.data_access_cycles - s.data_access_cycles,
+            "reduction_pct": _reduction_pct(
+                b.data_access_cycles, s.data_access_cycles
+            ),
+        },
+        "loads": {
+            "baseline": b.retired_loads,
+            "speculative": s.retired_loads,
+            "eliminated": b.retired_loads - s.retired_loads,
+            "reduction_pct": _reduction_pct(b.retired_loads, s.retired_loads),
+        },
+        "check_overhead": {
+            "check_instructions": s.check_instructions,
+            "check_failures": s.check_failures,
+            "misspeculation_ratio": s.misspeculation_ratio,
+            "baseline_check_instructions": b.check_instructions,
+        },
+        "recovery_cycles": {
+            "baseline": b.recovery_cycles,
+            "speculative": s.recovery_cycles,
+        },
+    }
+    bp = getattr(baseline, "profile", None)
+    sp = getattr(speculative, "profile", None)
+    if bp is not None and sp is not None:
+        base_fn = bp.per_function_cycles()
+        spec_fn = sp.per_function_cycles()
+        per_function = {}
+        for fn in sorted(set(base_fn) | set(spec_fn)):
+            bc = base_fn.get(fn, 0.0)
+            sc = spec_fn.get(fn, 0.0)
+            per_function[fn] = {
+                "baseline": round(bc, 2),
+                "speculative": round(sc, 2),
+                "delta": round(bc - sc, 2),
+            }
+        out["per_function"] = per_function
+        profiled_delta = sum(v["delta"] for v in per_function.values())
+        out["cycles"]["profiled_delta"] = round(profiled_delta, 2)
+    return out
+
+
+def format_diff(diff: dict, title: str = "baseline vs speculative") -> str:
+    """Human-readable rendering of :func:`diff_runs`."""
+    c = diff["cycles"]
+    d = diff["data_access_cycles"]
+    l = diff["loads"]
+    k = diff["check_overhead"]
+    r = diff["recovery_cycles"]
+    lines = [
+        f"== diff: {title} ==",
+        f"{'':<22} {'baseline':>12} {'speculative':>12} {'delta':>10} "
+        f"{'reduction':>10}",
+        f"{'cpu cycles':<22} {c['baseline']:>12} {c['speculative']:>12} "
+        f"{c['delta']:>10} {c['reduction_pct']:>9.2f}%",
+        f"{'data-access cycles':<22} {d['baseline']:>12} "
+        f"{d['speculative']:>12} {d['delta']:>10} {d['reduction_pct']:>9.2f}%",
+        f"{'retired loads':<22} {l['baseline']:>12} {l['speculative']:>12} "
+        f"{l['eliminated']:>10} {l['reduction_pct']:>9.2f}%",
+        "-- speculation cost",
+        f"   checks executed      {k['check_instructions']} "
+        f"(baseline ran {k['baseline_check_instructions']})",
+        f"   check failures       {k['check_failures']} "
+        f"(misspeculation {100.0 * k['misspeculation_ratio']:.2f}%)",
+        f"   recovery cycles      {r['speculative']} "
+        f"(baseline {r['baseline']})",
+    ]
+    per_function = diff.get("per_function")
+    if per_function:
+        lines.append("-- per-function cycles (from profile attribution)")
+        for fn, v in per_function.items():
+            lines.append(
+                f"   {fn:<18} {v['baseline']:>12.1f} {v['speculative']:>12.1f} "
+                f"{v['delta']:>10.1f}"
+            )
+        if "profiled_delta" in diff["cycles"]:
+            lines.append(
+                f"   profiled cycle delta {diff['cycles']['profiled_delta']:.1f} "
+                f"(counters say {diff['cycles']['delta']})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Benchmark history + regression gate.
+
+Every gated run appends one JSON record per benchmark to
+``benchmarks/history/<bench>.jsonl`` and compares the fresh numbers
+against the most recent recorded ones.  A counter that moved past its
+threshold raises a flag; cycle-count regressions are *failures* (CI
+gates on them), everything else is a warning.  A benchmark with no
+history yet is seeded and reported as a first run (non-blocking), so
+the gate self-initialises.
+
+Also usable as a CLI against the benchmark harness's ``metrics.json``::
+
+    python -m repro.obs.regress \
+        --metrics benchmarks/results/metrics.json \
+        --history benchmarks/history [--threshold 0.10] \
+        [--no-update] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: counters compared per mode: (name, severity-if-regressed).  Higher is
+#: worse for all of them; ``fail`` is what CI gates on.
+TRACKED_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("cpu_cycles", "fail"),
+    ("data_access_cycles", "warn"),
+    ("retired_loads", "warn"),
+    ("check_failures", "warn"),
+    ("recovery_cycles", "warn"),
+)
+
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class Flag:
+    """One counter that regressed past the threshold."""
+
+    bench: str
+    mode: str
+    counter: str
+    previous: float
+    current: float
+    severity: str  # "fail" | "warn"
+
+    @property
+    def pct(self) -> float:
+        return 100.0 * (self.current - self.previous) / self.previous
+
+    def __str__(self) -> str:
+        tag = "REGRESSION" if self.severity == "fail" else "warning"
+        return (
+            f"{tag}: {self.bench}/{self.mode} {self.counter} "
+            f"{self.previous} -> {self.current} (+{self.pct:.1f}%)"
+        )
+
+
+# -- history files ------------------------------------------------------
+
+
+def history_path(history_dir: str, bench: str) -> str:
+    return os.path.join(history_dir, f"{bench}.jsonl")
+
+
+def load_history(history_dir: str, bench: str) -> list[dict]:
+    path = history_path(history_dir, bench)
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def latest_record(history_dir: str, bench: str) -> Optional[dict]:
+    history = load_history(history_dir, bench)
+    return history[-1] if history else None
+
+
+def append_record(history_dir: str, record: dict) -> None:
+    os.makedirs(history_dir, exist_ok=True)
+    with open(history_path(history_dir, record["bench"]), "a",
+              encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def make_record(bench: str, per_mode_counters: dict[str, dict]) -> dict:
+    """One history record: the tracked counter subset per mode."""
+    tracked = [name for name, _sev in TRACKED_COUNTERS]
+    return {
+        "bench": bench,
+        "timestamp": round(time.time(), 3),
+        "modes": {
+            mode: {k: counters.get(k, 0) for k in tracked}
+            for mode, counters in per_mode_counters.items()
+        },
+    }
+
+
+# -- comparison ---------------------------------------------------------
+
+
+def compare_records(
+    previous: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[Flag]:
+    flags: list[Flag] = []
+    for mode, cur_counters in current.get("modes", {}).items():
+        prev_counters = previous.get("modes", {}).get(mode)
+        if prev_counters is None:
+            continue
+        for counter, severity in TRACKED_COUNTERS:
+            prev = prev_counters.get(counter)
+            cur = cur_counters.get(counter)
+            if prev is None or cur is None or prev <= 0:
+                continue
+            if cur > prev * (1.0 + threshold):
+                flags.append(
+                    Flag(current["bench"], mode, counter, prev, cur, severity)
+                )
+    return flags
+
+
+@dataclass
+class GateReport:
+    """Outcome of one regression-gate pass."""
+
+    flags: list[Flag]
+    seeded: list[str]  # benchmarks with no prior history (first run)
+    checked: list[str]
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity == "fail" for f in self.flags)
+
+    def format(self) -> str:
+        lines = [
+            f"regression gate: {len(self.checked)} benchmark(s) checked, "
+            f"{len(self.seeded)} seeded, {len(self.flags)} flag(s)"
+        ]
+        for bench in self.seeded:
+            lines.append(f"first run: {bench} — history seeded, not gated")
+        for flag in self.flags:
+            lines.append(str(flag))
+        if not self.flags and self.checked:
+            lines.append("no counters regressed past threshold")
+        return "\n".join(lines)
+
+
+def gate_records(
+    history_dir: str,
+    records: dict[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    update: bool = True,
+) -> GateReport:
+    """Gate a set of fresh per-benchmark records against history.
+
+    First-run benchmarks are seeded (recorded, never flagged); for the
+    rest, the fresh record is compared to the latest historical one and
+    then appended (unless ``update`` is off — e.g. a CI dry run).
+    """
+    flags: list[Flag] = []
+    seeded: list[str] = []
+    checked: list[str] = []
+    for bench, record in sorted(records.items()):
+        previous = latest_record(history_dir, bench)
+        if previous is None:
+            seeded.append(bench)
+        else:
+            checked.append(bench)
+            flags.extend(compare_records(previous, record, threshold))
+        if update:
+            append_record(history_dir, record)
+    return GateReport(flags, seeded, checked)
+
+
+def gate_metrics(
+    history_dir: str,
+    metrics: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    update: bool = True,
+) -> GateReport:
+    """Gate the benchmark harness's ``metrics.json`` shape:
+    ``{bench: {mode: {"counters": {...}, ...}}}``."""
+    records = {
+        bench: make_record(
+            bench,
+            {
+                mode: payload.get("counters", {})
+                for mode, payload in per_mode.items()
+            },
+        )
+        for bench, per_mode in metrics.items()
+    }
+    return gate_records(history_dir, records, threshold, update)
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Append benchmark metrics to the history and flag "
+        "counter regressions.",
+    )
+    parser.add_argument(
+        "--metrics",
+        required=True,
+        help="metrics JSON from the benchmark harness "
+        "(benchmarks/results/metrics.json)",
+    )
+    parser.add_argument(
+        "--history",
+        required=True,
+        help="history directory (benchmarks/history)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression threshold (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--no-update",
+        action="store_true",
+        help="compare only; do not append to the history",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="always exit 0 (first-run seeding in CI)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.metrics, "r", encoding="utf-8") as fh:
+        metrics = json.load(fh)
+    report = gate_metrics(
+        args.history, metrics, threshold=args.threshold,
+        update=not args.no_update,
+    )
+    print(report.format())
+    if report.failed and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,22 +66,38 @@ class JsonlSink(Sink):
 
     Accepts a path or an open text stream.  Values that JSON cannot
     represent (e.g. tuples nested in dataclasses) are stringified.
+
+    Exception safety: each event is serialised first and written as one
+    complete line in a single ``write`` call, so a pipeline that raises
+    mid-run never leaves a torn line in the file — every line present is
+    valid JSON.  With ``autoflush`` the line is also flushed to the OS
+    per event, so a hard crash loses at most the event in flight.  The
+    sink is a context manager and ``close`` is idempotent; the object
+    also closes its own file on garbage collection as a last resort.
     """
 
-    def __init__(self, target) -> None:
+    def __init__(self, target, autoflush: bool = False) -> None:
         if isinstance(target, (str, bytes)):
             self._stream: TextIO = open(target, "w", encoding="utf-8")
             self._owns_stream = True
         else:
             self._stream = target
             self._owns_stream = False
+        self.autoflush = autoflush
         self._closed = False
 
     def emit(self, event: dict) -> None:
         if self._closed:
             return
-        self._stream.write(json.dumps(event, default=_json_fallback))
-        self._stream.write("\n")
+        # Serialise before touching the stream: a TypeError here leaves
+        # the file untouched rather than half-written.
+        line = json.dumps(event, default=_json_fallback) + "\n"
+        self._stream.write(line)
+        if self.autoflush:
+            try:
+                self._stream.flush()
+            except (ValueError, OSError):  # stream closed underneath us
+                self._closed = True
 
     def close(self) -> None:
         if self._closed:
@@ -93,6 +109,12 @@ class JsonlSink(Sink):
             pass
         if self._owns_stream:
             self._stream.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def _json_fallback(value):

@@ -10,7 +10,8 @@ Event schema (documented in DESIGN.md §"Trace schema"):
 
 ========================  =================================================
 ``phase.begin/end``       pipeline phase timers (``phase``, ``wall_ms`` +
-                          per-phase payload counts on ``end``)
+                          per-phase payload counts on ``end``; ``error``
+                          when the phase raised)
 ``spec.decision``         one per decider verdict (``function``, ``sid``,
                           ``stmt``, ``verdict``)
 ``spec.lowered``          one per speculative annotation surviving to the
@@ -27,6 +28,13 @@ Event schema (documented in DESIGN.md §"Trace schema"):
 ``rse.spill/fill``        register-stack traffic (``regs``, ``cycles``)
 ``counters.snapshot``     periodic counter time-series sample
 ``sim.begin/end``         one simulated run
+``profile.line``          per-source-line attribution (``line``,
+                          ``cycle_pct``, ``cycles``, ``retired``,
+                          ``data_cycles``, ``spec``)
+``profile.site``          per-ALAT-site attribution (``site``, ``line``,
+                          ``allocations``, ``collisions``, ``evictions``,
+                          ``check_hits``, ``check_failures``,
+                          ``recovery_cycles``, ``kinds``)
 ========================  =================================================
 
 ALAT events carry the register tag as ``[activation_serial, register]``
@@ -81,21 +89,31 @@ class TraceContext:
         Yields a dict the caller may fill with op counts; they are
         attached to the ``phase.end`` event.  Wall time accumulates in
         :attr:`phase_times` even when tracing is disabled.
+
+        A phase that raises still emits its ``phase.end`` — with an
+        ``error`` field carrying ``ExcType: message`` — so a trace
+        always brackets correctly and records *where* the pipeline died.
         """
         self.event("phase.begin", phase=name)
         info: dict = {}
+        error: Optional[str] = None
         t0 = time.perf_counter()
         try:
             yield info
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
         finally:
             dt = time.perf_counter() - t0
             self.phase_times[name] = self.phase_times.get(name, 0.0) + dt
+            extra = {"error": error} if error is not None else {}
             self.event(
                 "phase.end",
                 phase=name,
                 wall_ms=round(dt * 1e3, 3),
                 **fields,
                 **info,
+                **extra,
             )
 
     def close(self) -> None:

@@ -107,11 +107,16 @@ class CompileOutput:
     #: when the caller passed none) — ``run()`` keeps using it.
     obs: TraceContext = field(default_factory=TraceContext)
 
-    def run(self, args: Optional[list[Value]] = None) -> MachineResult:
-        """Simulate the compiled program."""
+    def run(
+        self, args: Optional[list[Value]] = None, profile: bool = False
+    ) -> MachineResult:
+        """Simulate the compiled program.  With ``profile`` set, the
+        result carries a :class:`repro.obs.RunProfile` attributing
+        retired cycles and ALAT events to source locations."""
         with self.obs.phase("simulate"):
             return Simulator(
-                self.program, self.options.machine, obs=self.obs
+                self.program, self.options.machine, obs=self.obs,
+                profile=profile,
             ).run(args)
 
     def interpret(self, args: Optional[list[Value]] = None) -> InterpResult:

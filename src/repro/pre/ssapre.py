@@ -797,6 +797,9 @@ class SSAPRE:
             )
         )
         self._addr_temp = None
+        #: loc of this candidate's leading (advanced) load — recovery
+        #: code is attributed there
+        self._lead_loc = None
         if check_plan or uses_alat:
             self._make_addr_temp()  # indirect candidates only; no-op else
 
@@ -839,7 +842,9 @@ class SSAPRE:
                 assert anchor is not None
                 term = anchor.terminator
                 assert term is not None
-                anchor.insert_before(term, InvalidateCheck(temp))
+                inv = InvalidateCheck(temp)
+                inv.loc = term.loc
+                anchor.insert_before(term, inv)
                 self.result.invalidates += 1
 
         # Check statements after speculated-over stores
@@ -865,19 +870,26 @@ class SSAPRE:
             var = stmt.target
             stmt.target = temp
             anchor: Stmt = Assign(var, VarRead(temp))
+            anchor.loc = stmt.loc
             block.insert_after(stmt, anchor)
         else:
             assert isinstance(stmt, Store)
             if self._addr_temp is not None:
-                block.insert_before(stmt, Assign(self._addr_temp, self._occ_addr_expr(occ)))
+                addr_save = Assign(self._addr_temp, self._occ_addr_expr(occ))
+                addr_save.loc = stmt.loc
+                block.insert_before(stmt, addr_save)
             save = Assign(temp, stmt.value)
+            save.loc = stmt.loc
             block.insert_before(stmt, save)
             stmt.value = VarRead(temp)
             anchor = stmt
         if uses_alat:
             # Figure 1(b): secure the ALAT entry after the store.
             lda = Assign(temp, self._template_via_addr_temp(), spec_flag=SpecFlag.LD_A)
+            lda.loc = stmt.loc
             block.insert_after(anchor, lda)
+        if self._lead_loc is None:
+            self._lead_loc = stmt.loc
         self.result.left_saves += 1
 
     def _rewrite_save(self, occ: Occurrence, temp: Variable, uses_alat: bool) -> None:
@@ -887,13 +899,18 @@ class SSAPRE:
         assert block is not None
         assert occ.expr is not None
         if self._addr_temp is not None:
-            block.insert_before(stmt, Assign(self._addr_temp, self._occ_addr_expr(occ)))
+            addr_save = Assign(self._addr_temp, self._occ_addr_expr(occ))
+            addr_save.loc = stmt.loc
+            block.insert_before(stmt, addr_save)
             load_expr = self._template_via_addr_temp()
         else:
             load_expr = self._clone_template()
         flag = SpecFlag.LD_A if uses_alat else SpecFlag.NONE
         save = Assign(temp, load_expr, spec_flag=flag)
+        save.loc = stmt.loc
         block.insert_before(stmt, save)
+        if self._lead_loc is None:
+            self._lead_loc = stmt.loc
         replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
         self.result.saves += 1
 
@@ -912,6 +929,7 @@ class SSAPRE:
         assert block is not None
         assert occ.expr is not None
         check = Assign(temp, self._clone_template(), spec_flag=SpecFlag.LD_C_NC)
+        check.loc = stmt.loc
         block.insert_before(stmt, check)
         replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
         self.result.checks += 1
@@ -930,9 +948,9 @@ class SSAPRE:
         if self._addr_temp is not None:
             addr_template = self.cand.template
             assert isinstance(addr_template, Load)
-            pred.insert_before(
-                term, Assign(self._addr_temp, clone_expr(addr_template.addr))
-            )
+            addr_save = Assign(self._addr_temp, clone_expr(addr_template.addr))
+            addr_save.loc = term.loc
+            pred.insert_before(term, addr_save)
             load_expr: Expr = self._template_via_addr_temp()
         else:
             load_expr = self._clone_template()
@@ -944,7 +962,11 @@ class SSAPRE:
             flag = SpecFlag.LD_A
         else:
             flag = SpecFlag.NONE
-        pred.insert_before(term, Assign(temp, load_expr, spec_flag=flag))
+        insert = Assign(temp, load_expr, spec_flag=flag)
+        insert.loc = term.loc
+        pred.insert_before(term, insert)
+        if self._lead_loc is None:
+            self._lead_loc = term.loc
         self.result.inserts += 1
         if control_spec:
             self.result.speculative_inserts += 1
@@ -1013,26 +1035,31 @@ class SSAPRE:
         for stmt in self._cascade_check_sites():
             if not isinstance(stmt, Assign):
                 continue
+            # Recovery code re-executes the leading load; attribute it
+            # there (the check's own loc as fallback).
+            rec_loc = self._lead_loc if self._lead_loc is not None else stmt.loc
             if stmt.spec_flag in (SpecFlag.LD_C, SpecFlag.LD_C_NC):
                 # Upgrade: the simple reload becomes a branching check.
                 # The recovery's own loads are ld.sa-style (non-faulting,
                 # re-arming the ALAT entries).
                 stmt.spec_flag = SpecFlag.CHK_A_NC
-                stmt.recovery = [
-                    Assign(stmt.target, clone_expr(stmt.expr), SpecFlag.LD_SA)
-                ]
+                rearm = Assign(stmt.target, clone_expr(stmt.expr), SpecFlag.LD_SA)
+                rearm.loc = stmt.loc
+                stmt.recovery = [rearm]
             if not stmt.spec_flag.is_branching_check or stmt.recovery is None:
                 continue
             if self._addr_temp is not None:
-                stmt.recovery.append(
-                    Assign(self._addr_temp, clone_expr(self.cand.template.addr))
+                addr_reload = Assign(
+                    self._addr_temp, clone_expr(self.cand.template.addr)
                 )
+                addr_reload.loc = rec_loc
+                stmt.recovery.append(addr_reload)
                 reload_expr: Expr = self._template_via_addr_temp()
             else:
                 reload_expr = clone_expr(self.cand.template)
-            stmt.recovery.append(
-                Assign(value_temp, reload_expr, SpecFlag.LD_SA)
-            )
+            value_reload = Assign(value_temp, reload_expr, SpecFlag.LD_SA)
+            value_reload.loc = rec_loc
+            stmt.recovery.append(value_reload)
             self.result.cascade_upgrades += 1
 
     # -- check statements --------------------------------------------------
@@ -1142,6 +1169,8 @@ class SSAPRE:
                 check = Assign(
                     temp, self._template_via_addr_temp(), spec_flag=SpecFlag.LD_C_NC
                 )
+            # The check guards this store: attribute it to the store's line.
+            check.loc = stmt.loc
             block.insert_after(stmt, check)
             self.result.checks += 1
 

@@ -172,12 +172,17 @@ class _FunctionCodegen:
         self._scratch_base = reg
         self._scratch = reg
         self._label_counter = 0
+        #: debug location of the IR statement being lowered; sticky, so
+        #: glue instructions between located statements stay attributed
+        self._cur_loc = None
         #: queued (recovery_label, resume_label, stmts) blocks
         self._recovery: list[tuple[str, str, list[Stmt]]] = []
 
     # -- small helpers --------------------------------------------------
 
     def emit(self, instr):
+        if self._cur_loc is not None:
+            instr.loc = self._cur_loc
         return self.mf.emit(instr)
 
     def _fresh_scratch(self) -> int:
@@ -310,6 +315,8 @@ class _FunctionCodegen:
 
     def lower_stmt(self, stmt: Stmt) -> None:
         self._reset_scratch()
+        if stmt.loc is not None:
+            self._cur_loc = stmt.loc
         if isinstance(stmt, Assign):
             self._lower_assign(stmt)
         elif isinstance(stmt, Store):

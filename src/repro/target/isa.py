@@ -53,6 +53,12 @@ class LoadKind(enum.Enum):
 class MInstr:
     """Base machine instruction."""
 
+    #: source debug location (:class:`repro.ir.loc.Loc`), copied from the
+    #: IR statement this instruction was lowered from; ``None`` when the
+    #: IR carried no locations.  A class attribute so the dataclass
+    #: subclasses need no extra field.
+    loc = None
+
     def reads(self) -> tuple[int, ...]:
         """Source registers the scoreboard must wait on."""
         return ()

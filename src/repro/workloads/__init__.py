@@ -18,6 +18,7 @@ from repro.workloads.programs import BENCHMARKS, Workload, get_workload
 from repro.workloads.runner import (
     BenchmarkResult,
     ModeResult,
+    gate_results,
     run_benchmark,
     run_all_benchmarks,
     BASELINE,
@@ -37,6 +38,7 @@ __all__ = [
     "get_workload",
     "BenchmarkResult",
     "ModeResult",
+    "gate_results",
     "run_benchmark",
     "run_all_benchmarks",
     "BASELINE",

@@ -228,3 +228,36 @@ def run_all_benchmarks(
         name: run_benchmark(name, machine_config, trace_dir=trace_dir)
         for name in BENCHMARKS
     }
+
+
+def gate_results(
+    results: dict[str, BenchmarkResult],
+    history_dir: str,
+    threshold: Optional[float] = None,
+    update: bool = True,
+):
+    """Append fresh measurements to ``{history_dir}/{bench}.jsonl`` and
+    flag counter regressions against the latest recorded run.
+
+    Returns the :class:`repro.obs.GateReport`; ``report.failed`` means a
+    gating counter (cpu cycles) regressed past the threshold.  First
+    runs seed the history without flagging.
+    """
+    from repro.obs.regress import DEFAULT_THRESHOLD, gate_records, make_record
+
+    records = {
+        name: make_record(
+            name,
+            {
+                mode.label: mode.counters.as_dict()
+                for mode in (result.baseline, result.speculative)
+            },
+        )
+        for name, result in results.items()
+    }
+    return gate_records(
+        history_dir,
+        records,
+        threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
+        update=update,
+    )

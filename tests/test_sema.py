@@ -192,3 +192,53 @@ def test_aggregate_assignment_rejected():
     """
     with pytest.raises(SemanticError):
         check(src)
+
+
+# -- error positions ------------------------------------------------------
+
+
+def err_at(source: str) -> tuple[int, int, str]:
+    with pytest.raises(SemanticError) as exc:
+        check(source)
+    return exc.value.line, exc.value.column, str(exc.value)
+
+
+def test_type_error_points_at_value_expression_not_statement():
+    # column of `1.5`, not of `int`
+    line, col, msg = err_at("int main() { int x = 1.5; return x; }")
+    assert line == 1
+    assert col == "int main() { int x = 1.5; return x; }".index("1.5") + 1
+    assert msg.startswith("1:")
+    assert "in initializer" in msg
+
+
+def test_assignment_error_points_at_rhs():
+    src = "int main() { int *p = 0; float *q = 0; p = q; return 0; }"
+    line, col, msg = err_at(src)
+    assert (line, col) == (1, src.index("q;") + 1)
+
+
+def test_return_error_points_at_returned_expression():
+    src = "struct s { int x; }; int main() { struct s *p = 0; return p; }"
+    line, col, msg = err_at(src)
+    assert (line, col) == (1, src.index("p; }") + 1)
+    assert "in return value" in msg
+
+
+def test_argument_error_names_the_argument():
+    src = (
+        "int f(int a, int *b) { return a; }\n"
+        "int main() { float z = 1.5; return f(1, z); }"
+    )
+    line, col, msg = err_at(src)
+    assert line == 2
+    assert col == "int main() { float z = 1.5; return f(1, z); }".index("z)") + 1
+    assert "in argument 2 of f" in msg
+
+
+def test_nonscalar_main_param_error_has_position():
+    src = "struct s { int x; };\nint main(struct s v) { return 0; }"
+    line, col, msg = err_at(src)
+    assert line == 2
+    assert col > 0
+    assert "aggregate" in msg or "scalar" in msg

@@ -1,0 +1,111 @@
+"""Trace-schema drift guard.
+
+Every event name emitted anywhere in ``src/`` must appear in both
+documented schema tables — the docstring table in
+:mod:`repro.obs.trace` and the markdown table in DESIGN.md §"Trace
+schema" — and vice versa: a documented event nobody emits is stale
+documentation.  Adding an event without documenting it (or renaming one
+side only) fails here, not in production.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import repro.obs.trace as trace_mod
+
+REPO = pathlib.Path(__file__).parent.parent
+SRC = REPO / "src"
+DESIGN = REPO / "DESIGN.md"
+
+#: an event emission: ``….event("name", …)`` or ``….observer("name", …)``
+#: (possibly with the string literal on the following line).
+_EMIT_RE = re.compile(
+    r'(?:\.event|\.observer)\(\s*"([a-z_][a-z0-9_.]*)"'
+)
+
+#: a schema row in the trace.py docstring table: ``…`` at line start.
+_DOCSTRING_ROW_RE = re.compile(r"^``([a-z_][a-z0-9_./]*)``", re.MULTILINE)
+
+#: backticked event names in the first cell of a DESIGN.md table row.
+_DESIGN_ROW_RE = re.compile(r"^\| *((?:`[a-z_][a-z0-9_.]*`(?: */ *)?)+) *\|", re.MULTILINE)
+
+
+def _expand(name: str) -> list[str]:
+    """``phase.begin/end`` -> [``phase.begin``, ``phase.end``]."""
+    if "/" not in name:
+        return [name]
+    first, *rest = name.split("/")
+    prefix = first.rsplit(".", 1)[0]
+    return [first] + [f"{prefix}.{r}" for r in rest]
+
+
+def emitted_events() -> set[str]:
+    names: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        names.update(_EMIT_RE.findall(path.read_text(encoding="utf-8")))
+    # phase.end is emitted via a multi-line call matched above; nothing
+    # to special-case — but make sure the scan actually found code.
+    assert names, "event scan found nothing — emission pattern drifted?"
+    return names
+
+
+def trace_docstring_events() -> set[str]:
+    doc = trace_mod.__doc__ or ""
+    names: set[str] = set()
+    for m in _DOCSTRING_ROW_RE.findall(doc):
+        names.update(_expand(m))
+    return names
+
+
+def design_md_events() -> set[str]:
+    text = DESIGN.read_text(encoding="utf-8")
+    # Restrict to the trace-schema section so other tables don't leak in.
+    section = text.split('## 8. Trace schema', 1)[1]
+    section = section.split("\n## ", 1)[0]
+    names: set[str] = set()
+    for cell in _DESIGN_ROW_RE.findall(section):
+        for tick in re.findall(r"`([a-z_][a-z0-9_.]*)`", cell):
+            names.add(tick)
+    return names
+
+
+def test_every_emitted_event_is_documented_in_trace_py():
+    undocumented = emitted_events() - trace_docstring_events()
+    assert not undocumented, (
+        f"events emitted in src/ but missing from the repro.obs.trace "
+        f"docstring schema table: {sorted(undocumented)}"
+    )
+
+
+def test_every_trace_py_event_is_emitted_somewhere():
+    stale = trace_docstring_events() - emitted_events()
+    assert not stale, (
+        f"events documented in repro.obs.trace but never emitted in "
+        f"src/: {sorted(stale)}"
+    )
+
+
+def test_every_emitted_event_is_documented_in_design_md():
+    undocumented = emitted_events() - design_md_events()
+    assert not undocumented, (
+        f"events emitted in src/ but missing from DESIGN.md §'Trace "
+        f"schema': {sorted(undocumented)}"
+    )
+
+
+def test_every_design_md_event_is_emitted_somewhere():
+    stale = design_md_events() - emitted_events()
+    assert not stale, (
+        f"events documented in DESIGN.md §'Trace schema' but never "
+        f"emitted in src/: {sorted(stale)}"
+    )
+
+
+def test_profile_events_documented():
+    """The profile.* additions are in both tables (regression anchor
+    for this PR's schema extension)."""
+    for name in ("profile.line", "profile.site"):
+        assert name in trace_docstring_events()
+        assert name in design_md_events()
