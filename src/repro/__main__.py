@@ -35,6 +35,7 @@ from repro.obs import (
 from repro.pipeline import (
     CompilerOptions,
     OptLevel,
+    SpecLintMode,
     SpecMode,
     compile_source,
     run_program,
@@ -78,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="promotion rounds (2 enables cascaded pointer chains)",
+    )
+    parser.add_argument(
+        "--speclint",
+        choices=[m.value for m in SpecLintMode],
+        default="strict",
+        help="speculation-safety analyzer: strict fails compilation on "
+        "any error, warn prints findings to stderr, off disables it "
+        "(default strict)",
     )
     parser.add_argument("--dump-ir", action="store_true", help="print optimised IR")
     parser.add_argument("--dump-asm", action="store_true", help="print machine code")
@@ -144,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         opt_level=OptLevel(args.opt),
         spec_mode=SpecMode(args.spec),
         rounds=args.rounds,
+        speclint=SpecLintMode(args.speclint),
     )
     train = args.train_args if args.train_args is not None else args.args
 
@@ -152,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
         output = compile_source(
             source, options, train_args=train, name=args.file, obs=obs
         )
+        for diag in output.diagnostics:
+            print(diag.format(), file=sys.stderr)
 
         if args.dump_ir:
             print(format_module(output.module))

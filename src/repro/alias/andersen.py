@@ -10,12 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 
-from repro.alias.constraints import (
-    Constraint,
-    ConstraintKind,
-    ConstraintSystem,
-    Node,
-)
+from repro.alias.constraints import ConstraintKind, ConstraintSystem, Node
 from repro.alias.memobj import MemObject
 from repro.alias.solution import PointsToSolution
 

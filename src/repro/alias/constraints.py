@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
 from repro.errors import IRError

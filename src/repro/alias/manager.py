@@ -24,7 +24,7 @@ from typing import Iterable, Optional
 
 from repro.alias.andersen import solve_andersen
 from repro.alias.constraints import ConstraintSystem, build_constraints
-from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
+from repro.alias.memobj import MemObject, VarMemObject
 from repro.alias.solution import PointsToSolution
 from repro.alias.steensgaard import solve_steensgaard
 from repro.alias.typebased import type_filter_points_to

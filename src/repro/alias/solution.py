@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.alias.constraints import ConstraintSystem, Node
 from repro.alias.memobj import MemObject

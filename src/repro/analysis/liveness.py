@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.ir.cfg import BasicBlock
 from repro.ir.function import Function
-from repro.ir.stmt import Stmt, stmt_defines
+from repro.ir.stmt import stmt_defines
 from repro.ir.expr import VarRead
 from repro.ir.symbols import Variable
 

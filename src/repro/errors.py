@@ -49,6 +49,22 @@ class VerificationError(IRError):
     """The IR verifier found a structural violation (bug in a pass)."""
 
 
+class SpecLintError(IRError):
+    """The speculation-safety analyzer found an error-severity violation
+    of the ALAT protocol (strict mode only).
+
+    Carries the full :class:`repro.speclint.LintReport` so callers can
+    inspect every diagnostic, not just the rendered message.
+    """
+
+    def __init__(self, report) -> None:
+        self.report = report
+        errors = getattr(report, "errors", [])
+        head = f"speclint: {len(errors)} speculation-safety error(s)"
+        body = report.format() if hasattr(report, "format") else str(report)
+        super().__init__(f"{head}\n{body}")
+
+
 class InterpError(ReproError):
     """Runtime error while interpreting IR (bad address, div by zero...)."""
 

@@ -26,8 +26,6 @@ from repro.ir.expr import (
     ConstInt,
     Expr,
     Load,
-    UnOp,
-    UnOpKind,
     VarRead,
 )
 from repro.ir.function import Function
@@ -44,7 +42,7 @@ from repro.ir.stmt import (
     Store,
 )
 from repro.ir.symbols import StorageClass, Variable
-from repro.ir.types import INT, PointerType, Type, VOID, WORD_SIZE, element_type
+from repro.ir.types import PointerType, Type, VOID, WORD_SIZE, element_type
 
 
 def as_expr(value: Union[Expr, Variable, int, float]) -> Expr:

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import IRError
 from repro.ir.symbols import Variable

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import IRError
 from repro.ir.cfg import BasicBlock

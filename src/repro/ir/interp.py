@@ -62,7 +62,7 @@ from repro.ir.stmt import (
     Store,
 )
 from repro.ir.symbols import Variable
-from repro.ir.types import ArrayType, FloatType, StructType, Type
+from repro.ir.types import FloatType, Type
 
 GLOBAL_BASE = 0x1000
 STACK_BASE = 0x10_0000
@@ -164,10 +164,15 @@ class Interpreter:
         module: Module,
         tracer: Optional[MemoryTracer] = None,
         max_steps: int = 50_000_000,
+        on_print: Optional[Callable[[Print, str], None]] = None,
     ) -> None:
         self.module = module
         self.tracer = tracer
         self.max_steps = max_steps
+        #: observer invoked with (Print stmt, formatted text) per output
+        #: line — translation validation uses it to attribute the first
+        #: divergent print back to a source Loc.
+        self.on_print = on_print
         self.mem: dict[int, Union[int, float]] = {}
         self.owner: dict[int, OwnerTag] = {}
         self.stats = InterpStats()
@@ -336,7 +341,10 @@ class Interpreter:
             self._heap_top += words
             self._write_var(stmt.target, base)
         elif isinstance(stmt, Print):
-            self.output.append(format_value(self._eval(stmt.expr)))
+            text = format_value(self._eval(stmt.expr))
+            self.output.append(text)
+            if self.on_print is not None:
+                self.on_print(stmt, text)
         elif isinstance(stmt, EvalStmt):
             self._eval(stmt.expr)
         elif isinstance(stmt, InvalidateCheck):

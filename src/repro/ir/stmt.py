@@ -25,7 +25,7 @@ import itertools
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import IRError
-from repro.ir.expr import AddrOf, Expr, Load, VarRead, walk_expr
+from repro.ir.expr import Expr, Load, VarRead, walk_expr
 from repro.ir.loc import Loc
 from repro.ir.symbols import Variable
 from repro.ir.types import Type

@@ -25,16 +25,16 @@ from repro.ir.module import Module
 from repro.ir.stmt import (
     Alloc,
     Assign,
+    Call,
     CondBranch,
     ConditionalReload,
     InvalidateCheck,
-    Jump,
     Return,
     Stmt,
     Store,
     Terminator,
 )
-from repro.ir.types import BOOL, INT, BoolType, IntType, types_compatible
+from repro.ir.types import BoolType, IntType, types_compatible
 
 
 def _fail(fn: Function, msg: str) -> None:
@@ -53,7 +53,7 @@ def verify_function(fn: Function, module: Module | None = None) -> None:
     for block in fn.blocks:
         _verify_block_shape(fn, block, block_ids)
         for stmt in block.stmts:
-            _verify_stmt(fn, stmt, known_vars)
+            _verify_stmt(fn, stmt, known_vars, module)
 
     _verify_preds(fn)
 
@@ -76,7 +76,12 @@ def _verify_block_shape(fn: Function, block, block_ids: set[int]) -> None:
         _fail(fn, f"block {block.label}: conditional branch with identical targets")
 
 
-def _verify_stmt(fn: Function, stmt: Stmt, known_vars: set[int]) -> None:
+def _verify_stmt(
+    fn: Function,
+    stmt: Stmt,
+    known_vars: set[int],
+    module: Module | None = None,
+) -> None:
     for expr in stmt.walk_exprs():
         if isinstance(expr, (VarRead, AddrOf)) and expr.var.id not in known_vars:
             _fail(fn, f"unknown variable {expr.var.name} in {stmt}")
@@ -98,6 +103,31 @@ def _verify_stmt(fn: Function, stmt: Stmt, known_vars: set[int]) -> None:
     elif isinstance(stmt, Store):
         if not stmt.addr.type.is_pointer:
             _fail(fn, f"store through non-pointer in {stmt}")
+    elif isinstance(stmt, Call) and module is not None:
+        callee = module.functions.get(stmt.callee)
+        if callee is None:
+            _fail(fn, f"call to unknown function {stmt.callee} in {stmt}")
+        if len(stmt.args) != len(callee.params):
+            _fail(
+                fn,
+                f"call to {stmt.callee} passes {len(stmt.args)} argument(s), "
+                f"expected {len(callee.params)} in {stmt}",
+            )
+        for param, arg in zip(callee.params, stmt.args):
+            if not _assignable(param.type, arg.type):
+                _fail(
+                    fn,
+                    f"argument type mismatch in {stmt}: parameter "
+                    f"{param.name} is {param.type}, got {arg.type}",
+                )
+        if stmt.result is not None and not _assignable(
+            stmt.result.type, callee.return_type
+        ):
+            _fail(
+                fn,
+                f"call result type mismatch in {stmt}: {stmt.result.type} "
+                f"= {callee.return_type}",
+            )
     elif isinstance(stmt, Alloc):
         if stmt.target.id not in known_vars:
             _fail(fn, f"unknown alloc target in {stmt}")

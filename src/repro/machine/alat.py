@@ -19,7 +19,7 @@ register-stack renaming: a callee's r5 is not the caller's r5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 #: An entry tag: (activation serial, register number).

@@ -8,7 +8,7 @@ for identifiers, ``node.symbol`` (the resolved declaration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional
 
 
 @dataclass

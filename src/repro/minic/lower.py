@@ -35,15 +35,14 @@ from repro.ir.expr import (
 )
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.stmt import Alloc, Assign, Call, Jump, Print, Return, Store
-from repro.ir.symbols import StorageClass, Variable
+from repro.ir.stmt import Alloc, Assign, Call, Print, Return, Store
+from repro.ir.symbols import Variable
 from repro.ir.types import (
     FLOAT,
     INT,
     ArrayType,
     BoolType,
     FloatType,
-    IntType,
     PointerType,
     StructType,
     Type,

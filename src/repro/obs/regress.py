@@ -4,16 +4,19 @@ Every gated run appends one JSON record per benchmark to
 ``benchmarks/history/<bench>.jsonl`` and compares the fresh numbers
 against the most recent recorded ones.  A counter that moved past its
 threshold raises a flag; cycle-count regressions are *failures* (CI
-gates on them), everything else is a warning.  A benchmark with no
-history yet is seeded and reported as a first run (non-blocking), so
-the gate self-initialises.
+gates on them), everything else is a warning.
+
+A benchmark with no history yet cannot be gated.  The CLI treats that
+as an error (exit :data:`EXIT_NO_HISTORY`) so a misconfigured history
+directory cannot silently pass CI; pass ``--allow-seed`` to record the
+first run instead (deliberate history initialisation).
 
 Also usable as a CLI against the benchmark harness's ``metrics.json``::
 
     python -m repro.obs.regress \
         --metrics benchmarks/results/metrics.json \
         --history benchmarks/history [--threshold 0.10] \
-        [--no-update] [--warn-only]
+        [--no-update] [--warn-only] [--allow-seed]
 """
 
 from __future__ import annotations
@@ -37,6 +40,11 @@ TRACKED_COUNTERS: tuple[tuple[str, str], ...] = (
 )
 
 DEFAULT_THRESHOLD = 0.10
+
+#: CLI exit code when a benchmark has no history to gate against and
+#: seeding was not explicitly allowed.  Distinct from 1 (regression) so
+#: CI can tell "got slower" from "nothing to compare against".
+EXIT_NO_HISTORY = 3
 
 
 @dataclass
@@ -140,10 +148,10 @@ class GateReport:
     def format(self) -> str:
         lines = [
             f"regression gate: {len(self.checked)} benchmark(s) checked, "
-            f"{len(self.seeded)} seeded, {len(self.flags)} flag(s)"
+            f"{len(self.seeded)} first-run, {len(self.flags)} flag(s)"
         ]
         for bench in self.seeded:
-            lines.append(f"first run: {bench} — history seeded, not gated")
+            lines.append(f"first run: {bench} — no history to gate against")
         for flag in self.flags:
             lines.append(str(flag))
         if not self.flags and self.checked:
@@ -156,12 +164,15 @@ def gate_records(
     records: dict[str, dict],
     threshold: float = DEFAULT_THRESHOLD,
     update: bool = True,
+    seed: bool = True,
 ) -> GateReport:
     """Gate a set of fresh per-benchmark records against history.
 
-    First-run benchmarks are seeded (recorded, never flagged); for the
-    rest, the fresh record is compared to the latest historical one and
-    then appended (unless ``update`` is off — e.g. a CI dry run).
+    Benchmarks with history are compared to their latest record and then
+    appended (unless ``update`` is off — e.g. a CI dry run).  First-run
+    benchmarks are never flagged; with ``seed`` they are recorded as the
+    initial history, without it they are only reported in ``seeded`` so
+    the caller can refuse to gate them.
     """
     flags: list[Flag] = []
     seeded: list[str] = []
@@ -170,11 +181,13 @@ def gate_records(
         previous = latest_record(history_dir, bench)
         if previous is None:
             seeded.append(bench)
+            if update and seed:
+                append_record(history_dir, record)
         else:
             checked.append(bench)
             flags.extend(compare_records(previous, record, threshold))
-        if update:
-            append_record(history_dir, record)
+            if update:
+                append_record(history_dir, record)
     return GateReport(flags, seeded, checked)
 
 
@@ -183,6 +196,7 @@ def gate_metrics(
     metrics: dict,
     threshold: float = DEFAULT_THRESHOLD,
     update: bool = True,
+    seed: bool = True,
 ) -> GateReport:
     """Gate the benchmark harness's ``metrics.json`` shape:
     ``{bench: {mode: {"counters": {...}, ...}}}``."""
@@ -196,7 +210,7 @@ def gate_metrics(
         )
         for bench, per_mode in metrics.items()
     }
-    return gate_records(history_dir, records, threshold, update)
+    return gate_records(history_dir, records, threshold, update, seed)
 
 
 # -- CLI ----------------------------------------------------------------
@@ -233,7 +247,14 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--warn-only",
         action="store_true",
-        help="always exit 0 (first-run seeding in CI)",
+        help="report regressions but exit 0 on them",
+    )
+    parser.add_argument(
+        "--allow-seed",
+        action="store_true",
+        help="record benchmarks that have no history yet as the initial "
+        "baseline instead of failing with exit code "
+        f"{EXIT_NO_HISTORY}",
     )
     args = parser.parse_args(argv)
 
@@ -241,9 +262,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         metrics = json.load(fh)
     report = gate_metrics(
         args.history, metrics, threshold=args.threshold,
-        update=not args.no_update,
+        update=not args.no_update, seed=args.allow_seed,
     )
     print(report.format())
+    if report.seeded and not args.allow_seed:
+        print(
+            "error: no benchmark history for: "
+            + ", ".join(report.seeded)
+            + f"\n  nothing to gate against in '{args.history}' — if this "
+            "is a deliberate first run, pass --allow-seed to record the "
+            "baseline; otherwise check the --history path.",
+            file=sys.stderr,
+        )
+        return EXIT_NO_HISTORY
     if report.failed and not args.warn_only:
         return 1
     return 0

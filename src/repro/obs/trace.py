@@ -18,6 +18,9 @@ Event schema (documented in DESIGN.md §"Trace schema"):
                           final IR (``function``, ``sid``, ``flag``,
                           ``target``, ``recovery_stmts``)
 ``pre.function``          per-function promotion stats
+``speclint.diag``         one per speculation-safety finding (``rule``,
+                          ``severity``, ``function``, ``loc``,
+                          ``message``)
 ``codegen.function``      register/frame footprint + instruction mix
 ``alat.allocate``         ``ld.a``/``ld.sa`` allocated an entry
 ``alat.collision``        a store invalidated an entry

@@ -166,7 +166,6 @@ def fold_expr(expr: Expr) -> Expr:
 
 
 def fold_constants_in_stmt(stmt: Stmt) -> None:
-    from repro.pre.rewrite import replace_exprs_in_stmt  # reuse slots
 
     # Rewrite each top-level expression slot via the shared slot writer:
     # build an identity mapping trick is overkill — fold slots directly.

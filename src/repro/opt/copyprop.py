@@ -12,7 +12,7 @@ way).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional
 
 from repro.ir.expr import (
     BinOp,

@@ -15,7 +15,6 @@ Three conservative ingredients:
 from __future__ import annotations
 
 from repro.analysis.liveness import compute_liveness
-from repro.ir.cfg import BasicBlock
 from repro.ir.expr import ConstInt, VarRead
 from repro.ir.function import Function
 from repro.ir.stmt import (

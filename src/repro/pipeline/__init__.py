@@ -1,7 +1,12 @@
 """End-to-end compilation pipeline: MiniC source → optimised machine
 code, with the paper's compilation modes as options."""
 
-from repro.pipeline.options import CompilerOptions, OptLevel, SpecMode
+from repro.pipeline.options import (
+    CompilerOptions,
+    OptLevel,
+    SpecLintMode,
+    SpecMode,
+)
 from repro.pipeline.driver import (
     CompileOutput,
     compile_source,
@@ -12,6 +17,7 @@ from repro.pipeline.driver import (
 __all__ = [
     "CompilerOptions",
     "OptLevel",
+    "SpecLintMode",
     "SpecMode",
     "CompileOutput",
     "compile_source",

@@ -28,10 +28,15 @@ from repro.ir.interp import InterpResult, run_module
 from repro.ir.module import Module
 from repro.ir.stmt import Stmt, Store
 from repro.ir.verify import verify_module
-from repro.machine.cpu import MachineConfig, MachineResult, Simulator
+from repro.machine.cpu import MachineResult, Simulator
 from repro.minic.lower import compile_to_ir
 from repro.obs.trace import TraceContext
-from repro.pipeline.options import CompilerOptions, OptLevel, SpecMode
+from repro.pipeline.options import (
+    CompilerOptions,
+    OptLevel,
+    SpecLintMode,
+    SpecMode,
+)
 from repro.pre.driver import FunctionPREStats, run_load_pre
 from repro.pre.scalarrepl import promote_module_scalars
 from repro.pre.ssapre import PREOptions
@@ -103,6 +108,9 @@ class CompileOutput:
     alias_manager: Optional[AliasManager] = None
     profile: Optional[AliasProfile] = None
     pre_stats: dict[str, FunctionPREStats] = field(default_factory=dict)
+    #: speculation-safety findings from the ``speclint`` phase (empty
+    #: when the analyzer is off or the compilation is clean)
+    diagnostics: list = field(default_factory=list)
     #: the trace context the compilation ran under (a fresh disabled one
     #: when the caller passed none) — ``run()`` keeps using it.
     obs: TraceContext = field(default_factory=TraceContext)
@@ -266,6 +274,14 @@ def compile_source(
         verify_module(module)
     with obs.phase("codegen"):
         output.program = generate_machine_code(module, obs=obs)
+
+    if opts.speclint is not SpecLintMode.OFF:
+        from repro.speclint import run_speclint
+
+        with obs.phase("speclint") as info:
+            report = run_speclint(output, opts.speclint, obs=obs)
+            info["errors"] = len(report.errors)
+            info["warnings"] = len(report.warnings)
     return output
 
 

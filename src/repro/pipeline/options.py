@@ -33,6 +33,17 @@ class OptLevel(enum.IntEnum):
     O3 = 3
 
 
+class SpecLintMode(enum.Enum):
+    """How the ``speclint`` phase treats speculation-safety findings."""
+
+    #: error-severity findings abort the compilation (the default)
+    STRICT = "strict"
+    #: findings are collected on ``CompileOutput.diagnostics`` only
+    WARN = "warn"
+    #: the analyzer does not run
+    OFF = "off"
+
+
 class SpecMode(enum.Enum):
     #: no alias speculation (classical promotion only)
     NONE = "none"
@@ -59,6 +70,8 @@ class CompilerOptions:
     #: scalar cleanup (constant folding, copy propagation, DCE) after
     #: promotion — applied identically in every mode at O1+
     cleanup: bool = True
+    #: speculation-safety analyzer (repro.speclint) after codegen
+    speclint: SpecLintMode = SpecLintMode.STRICT
     machine: MachineConfig = field(default_factory=MachineConfig)
 
     @property

@@ -8,7 +8,6 @@ expression trees, substituting the requested nodes.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.errors import IRError
 from repro.ir.expr import (

@@ -21,13 +21,13 @@ by a separate pipeline round.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.loops import LoopForest, find_natural_loops
 from repro.errors import IRError
 from repro.ir.cfg import BasicBlock
-from repro.ir.expr import Expr, Load, VarRead, clone_expr, walk_expr
+from repro.ir.expr import Expr, Load, VarRead, clone_expr
 from repro.ir.function import Function
 from repro.ir.stmt import (
     Assign,

@@ -1,0 +1,166 @@
+"""Diagnostics model for the speculation-safety analyzer.
+
+Every rule violation becomes one :class:`Diagnostic` with a stable rule
+id (``SPEC001``...), a :class:`Severity`, the enclosing function, and
+the source :class:`~repro.ir.loc.Loc` of the offending statement (or
+``None`` for IR built without source).  :class:`LintReport` aggregates
+one analysis run and renders as text or JSON.
+
+``RULE_TABLE`` is the registry documented in DESIGN.md section 10 —
+rule id -> (one-line invariant, paper anchor).  Error-severity rules
+state invariants the compiler unconditionally guarantees; warn-severity
+rules are performance heuristics (ALAT pressure) or conservative
+structural expectations that legal-but-unusual IR may trip.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.loc import Loc
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARN = "warn"
+
+
+#: rule id -> (invariant, paper anchor).  Kept in sync with DESIGN.md
+#: section 10 (test_speclint guards the correspondence).
+RULE_TABLE: dict[str, tuple[str, str]] = {
+    "SPEC001": (
+        "a computed redefinition of a checked temp must be re-armed or "
+        "synced to its memory home before any ld.c/chk.a of that temp",
+        "section 2.2, Figure 1",
+    ),
+    "SPEC002": (
+        "every store speculated across (chi_s) reaches each reuse of the "
+        "promoted temp only through an intervening check",
+        "sections 3.4-3.5",
+    ),
+    "SPEC003": (
+        "a check with dependent cascaded loads must be a branching chk.a "
+        "whose recovery re-executes the full pointer chain, in order, "
+        "with no side effects",
+        "section 2.4, Figure 4",
+    ),
+    "SPEC004": (
+        "an ld.a/ld.sa hoisted out of a loop whose body may invalidate it "
+        "keeps a check (chk.a.nc / ld.c.nc) inside the loop",
+        "section 2.3, Figure 3",
+    ),
+    "SPEC005": (
+        "an invala.e placement dominates every check of the entry it "
+        "clears (the partially-redundant region)",
+        "section 2.2, Figure 2",
+    ),
+    "SPEC006": (
+        "no loop keeps more simultaneously-live advanced loads than the "
+        "ALAT has entries (guaranteed thrashing)",
+        "section 5, Table 1",
+    ),
+    "SPEC007": (
+        "machine-level ld.c/chk.a is anchored by an advanced load of the "
+        "same register, with no unsynced plain redefinition between",
+        "section 2.2, Figure 1",
+    ),
+    "SPEC008": (
+        "machine-level chk.a recovery blocks redefine the checked "
+        "register, are not fallen into, and rejoin at the check's "
+        "continuation label",
+        "section 2.4, Figure 4",
+    ),
+    "SPEC009": (
+        "conservative and speculative programs produce identical "
+        "observable prints, exit value, and final global memory",
+        "section 4 (correctness argument)",
+    ),
+}
+
+
+@dataclass
+class Diagnostic:
+    """One speculation-safety finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    function: str
+    loc: Optional[Loc] = None
+    #: statement id (IR rules) or instruction index (MIR rules), when known
+    sid: Optional[int] = None
+
+    def format(self) -> str:
+        where = str(self.loc) if self.loc is not None else "<no loc>"
+        return (
+            f"{where}: {self.severity.value}: {self.rule}: "
+            f"{self.message} [in {self.function}]"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "function": self.function,
+            "loc": str(self.loc) if self.loc is not None else None,
+            "line": self.loc.line if self.loc is not None else None,
+            "sid": self.sid,
+        }
+
+    def as_event(self) -> dict:
+        """Flat fields for the ``speclint.diag`` trace event."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "function": self.function,
+            "loc": str(self.loc) if self.loc is not None else None,
+            "message": self.message,
+        }
+
+
+class LintReport:
+    """All diagnostics of one analysis run."""
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARN]
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def format(self, show_warnings: bool = True) -> str:
+        shown = self.diagnostics if show_warnings else self.errors
+        lines = [d.format() for d in shown]
+        lines.append(
+            f"speclint: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "diagnostics": [d.as_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LintReport({len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings)"
+        )

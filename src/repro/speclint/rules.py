@@ -1,0 +1,699 @@
+"""IR-level speculation-safety rules (SPEC001-SPEC006).
+
+Each rule is a small pass over one function's CFG using
+:mod:`repro.analysis.dominators` and :mod:`repro.analysis.loops`, plus
+two pieces of promotion metadata when available:
+
+* ``facts.targets_by_temp`` — for every promoted temporary, the ids of
+  the memory objects its home location may occupy (direct candidates:
+  the variable's own object; indirect candidates: the access's
+  points-to set).  Supplied by the driver from the PRE statistics.
+* the :class:`~repro.alias.manager.AliasManager` — to ask which
+  objects a store or call may write.
+
+The alias-aware rules (SPEC002, SPEC004) are skipped without that
+metadata; the structural rules always run.
+
+Key semantic point shared by SPEC001/SPEC002: a definition of a checked
+temporary is harmless exactly when it leaves ``temp == mem[home]`` —
+loads from memory do by construction, computed values (``&a``, copies)
+only after a sync store of the temp's value, and anything else needs a
+re-arm (``ld.a``) or a check before the next use.  The ALAT check
+hardware verifies "memory still holds what the register holds", so a
+register/memory mismatch at a surviving entry is the miscompile these
+rules exist to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.loops import find_natural_loops
+from repro.ir.cfg import BasicBlock
+from repro.ir.expr import Load, VarRead, walk_expr
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import (
+    Alloc,
+    Assign,
+    Call,
+    ConditionalReload,
+    InvalidateCheck,
+    Stmt,
+    Store,
+)
+from repro.speclint.diagnostics import Diagnostic, Severity
+
+
+@dataclass
+class PromotionFacts:
+    """Optional promotion metadata handed to the alias-aware rules."""
+
+    #: temp variable id -> ids of memory objects backing its home
+    targets_by_temp: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: temp variable id -> id of the direct candidate variable it
+    #: promotes; used to resolve the points-to set of store addresses
+    #: that promotion rewrote into temp reads (cloned exprs have no
+    #: entry in the points-to solution)
+    var_by_temp: dict[int, int] = field(default_factory=dict)
+
+
+def lint_module(
+    module: Module,
+    alias_manager=None,
+    facts: Optional[PromotionFacts] = None,
+    alat_entries: int = 32,
+) -> list[Diagnostic]:
+    """Run every IR-level rule over every function of ``module``."""
+    diags: list[Diagnostic] = []
+    for fn in module.iter_functions():
+        diags.extend(
+            _FunctionLint(fn, alias_manager, facts, alat_entries).run()
+        )
+    return diags
+
+
+# -- per-function analysis ------------------------------------------------
+
+
+class _FunctionLint:
+    def __init__(
+        self,
+        fn: Function,
+        am,
+        facts: Optional[PromotionFacts],
+        alat_entries: int,
+    ) -> None:
+        self.fn = fn
+        self.am = am
+        self.facts = facts or PromotionFacts()
+        self.alat_entries = alat_entries
+        self.diags: list[Diagnostic] = []
+
+        self.domtree: DominatorTree = compute_dominators(fn)
+        self.loops = find_natural_loops(fn, self.domtree)
+        #: sid -> (block, index) for every statement in a block
+        self.pos: dict[int, tuple[BasicBlock, int]] = {}
+        for block in fn.blocks:
+            for i, stmt in enumerate(block.stmts):
+                self.pos[stmt.sid] = (block, i)
+
+        # per-temp statement inventories (keyed by variable id)
+        self.arming: dict[int, list[Assign]] = {}
+        self.checks: dict[int, list[Assign]] = {}
+        self.invalas: dict[int, list[InvalidateCheck]] = {}
+        self.condreloads: dict[int, list[ConditionalReload]] = {}
+        self.plain_defs: dict[int, list[Stmt]] = {}
+        for stmt in fn.iter_stmts():
+            if isinstance(stmt, Assign):
+                t = stmt.target.id
+                if stmt.spec_flag.is_advanced_load:
+                    self.arming.setdefault(t, []).append(stmt)
+                elif stmt.spec_flag.is_check:
+                    self.checks.setdefault(t, []).append(stmt)
+                else:
+                    self.plain_defs.setdefault(t, []).append(stmt)
+            elif isinstance(stmt, InvalidateCheck):
+                self.invalas.setdefault(stmt.temp.id, []).append(stmt)
+            elif isinstance(stmt, ConditionalReload):
+                self.condreloads.setdefault(stmt.temp.id, []).append(stmt)
+            elif isinstance(stmt, (Alloc, Call)):
+                target = getattr(stmt, "target", None) or getattr(
+                    stmt, "result", None
+                )
+                if target is not None:
+                    self.plain_defs.setdefault(target.id, []).append(stmt)
+
+        #: temps participating in the ALAT protocol
+        self.web_temps: set[int] = (
+            set(self.arming) | set(self.checks) | set(self.invalas)
+        )
+        self._dep_cache: dict[int, frozenset[int]] = {}
+        self._combined_cache: dict[int, frozenset[int]] = {}
+
+    # -- shared helpers --------------------------------------------------
+
+    def _report(
+        self,
+        rule: str,
+        severity: Severity,
+        stmt: Optional[Stmt],
+        message: str,
+    ) -> None:
+        self.diags.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                function=self.fn.name,
+                loc=stmt.loc if stmt is not None else None,
+                sid=stmt.sid if stmt is not None else None,
+            )
+        )
+
+    def _dominates_stmt(self, a: Stmt, b: Stmt) -> bool:
+        """Does statement ``a`` execute before ``b`` on every path
+        (statement-level dominance)?"""
+        ba, ia = self.pos[a.sid]
+        bb, ib = self.pos[b.sid]
+        if ba is bb:
+            return ia < ib
+        return self.domtree.strictly_dominates(ba, bb)
+
+    def _walk_forward(
+        self,
+        block: BasicBlock,
+        start: int,
+        visit: Callable[[Stmt], Optional[str]],
+    ) -> Optional[Stmt]:
+        """DFS over all paths from ``block.stmts[start]`` (inclusive).
+
+        ``visit`` returns ``"hit"`` to report the statement, ``"stop"``
+        to cut the current path, ``None`` to continue.  Returns the
+        first hit found on any path, or None.
+        """
+        seen: set[int] = set()
+        work: list[tuple[BasicBlock, int]] = [(block, start)]
+        while work:
+            blk, idx = work.pop()
+            cut = False
+            for stmt in blk.stmts[idx:]:
+                verdict = visit(stmt)
+                if verdict == "hit":
+                    return stmt
+                if verdict == "stop":
+                    cut = True
+                    break
+            if cut:
+                continue
+            for succ in blk.successors():
+                if succ.bid not in seen:
+                    seen.add(succ.bid)
+                    work.append((succ, 0))
+        return None
+
+    def _recovery_defs(self, stmt: Stmt) -> set[int]:
+        """Temp ids redefined by a branching check's recovery code."""
+        if not (
+            isinstance(stmt, Assign)
+            and stmt.spec_flag.is_branching_check
+            and stmt.recovery
+        ):
+            return set()
+        return {
+            r.target.id for r in stmt.recovery if isinstance(r, Assign)
+        }
+
+    def _repairs(self, stmt: Stmt, temp_id: int) -> bool:
+        """Does executing ``stmt`` re-establish ``temp == mem[home]``
+        (or redefine the temp, starting a new reasoning window)?"""
+        if isinstance(stmt, Assign) and stmt.target.id == temp_id:
+            return True
+        if isinstance(stmt, ConditionalReload) and stmt.temp.id == temp_id:
+            return True
+        if isinstance(stmt, (Alloc, Call)):
+            target = getattr(stmt, "target", None) or getattr(
+                stmt, "result", None
+            )
+            if target is not None and target.id == temp_id:
+                return True
+        return temp_id in self._recovery_defs(stmt)
+
+    def _reads_temp(self, stmt: Stmt, temp_id: int) -> bool:
+        return any(
+            isinstance(e, VarRead) and e.var.id == temp_id
+            for e in stmt.walk_exprs()
+        )
+
+    def _is_sync_of(self, stmt: Stmt, temp_id: int) -> bool:
+        """A write that leaves the stored location holding the temp's
+        register value, so register and memory agree again.  Two
+        left-save shapes qualify: a write of exactly ``VarRead(t)``, and
+        a write of the same expression the immediately preceding
+        statement assigned to ``t`` (the emitter writes ``t = e;
+        home = e`` rather than reading the temp back)."""
+        if isinstance(stmt, Assign) and stmt.target.has_memory_home:
+            value = stmt.expr
+        elif isinstance(stmt, Store):
+            value = stmt.value
+        else:
+            return False
+        if isinstance(value, VarRead) and value.var.id == temp_id:
+            return True
+        block, idx = self.pos[stmt.sid]
+        if idx == 0:
+            return False
+        prev = block.stmts[idx - 1]
+        return (
+            isinstance(prev, Assign)
+            and prev.target.id == temp_id
+            and str(prev.expr) == str(value)
+        )
+
+    def _after(self, stmt: Stmt) -> tuple[BasicBlock, int]:
+        block, idx = self.pos[stmt.sid]
+        return block, idx + 1
+
+    # -- dependency chains (cascades) ------------------------------------
+
+    def _addr_dep_closure(self, temp_id: int) -> frozenset[int]:
+        """Web temps the reload address of ``temp_id`` transitively
+        reads: the cascade chain pi7 -> pa6 -> pi5 makes pi7 depend on
+        pi5.  Closure walks through plain copies of intermediary temps.
+        """
+        cached = self._dep_cache.get(temp_id)
+        if cached is not None:
+            return cached
+        deps: set[int] = set()
+        seeds: list[Stmt] = []
+        seeds += self.arming.get(temp_id, [])
+        seeds += self.checks.get(temp_id, [])
+        worklist: list[int] = []
+        seen_vars: set[int] = {temp_id}
+        for stmt in seeds:
+            for e in stmt.walk_exprs():
+                if isinstance(e, VarRead) and e.var.is_temp:
+                    worklist.append(e.var.id)
+        while worklist:
+            v = worklist.pop()
+            if v in seen_vars:
+                continue
+            seen_vars.add(v)
+            if v in self.web_temps:
+                deps.add(v)
+                continue
+            for d in self.plain_defs.get(v, []):
+                for e in d.walk_exprs():
+                    if isinstance(e, VarRead) and e.var.is_temp:
+                        worklist.append(e.var.id)
+        result = frozenset(deps)
+        self._dep_cache[temp_id] = result
+        return result
+
+    def _dependents_of(self, temp_id: int) -> list[int]:
+        """Web temps whose address chain depends on ``temp_id``."""
+        return [
+            v
+            for v in self.web_temps
+            if v != temp_id and temp_id in self._addr_dep_closure(v)
+        ]
+
+    def _combined_targets(self, temp_id: int) -> frozenset[int]:
+        """Memory objects whose mutation can stale ``temp_id``: its own
+        home objects plus those of every temp its address depends on (a
+        store redirecting the pointer invalidates the cached value)."""
+        cached = self._combined_cache.get(temp_id)
+        if cached is not None:
+            return cached
+        ids = set(self.facts.targets_by_temp.get(temp_id, frozenset()))
+        for dep in self._addr_dep_closure(temp_id):
+            ids |= self.facts.targets_by_temp.get(dep, frozenset())
+        result = frozenset(ids)
+        self._combined_cache[temp_id] = result
+        return result
+
+    def _invalidates(self, stmt: Stmt, temp_id: int) -> bool:
+        """May executing ``stmt`` change memory the temp caches, without
+        restoring register/memory agreement?"""
+        if self.am is None:
+            return False
+        targets = self._combined_targets(temp_id)
+        if not targets:
+            return False
+        if self._is_sync_of(stmt, temp_id):
+            return False
+        if isinstance(stmt, Store):
+            return bool(self._store_target_ids(stmt) & targets)
+        if isinstance(stmt, Assign) and stmt.target.has_memory_home:
+            obj = self.am.object_of_var(stmt.target)
+            return obj is not None and obj.id in targets
+        if isinstance(stmt, Call):
+            mod = self.am.call_mod(stmt.callee)
+            return bool({o.id for o in mod} & targets)
+        return False
+
+    def _store_target_ids(self, stmt: Store) -> set[int]:
+        """Objects ``stmt`` may write.  When promotion rewrote the
+        address into a temp read, the cloned expression is unknown to
+        the points-to solution; fall back to the points-to set of the
+        variable the temp promotes."""
+        ids = {
+            o.id
+            for o in self.am.access_targets(stmt.addr, stmt.value.type)
+        }
+        if ids:
+            return ids
+        from repro.alias.typebased import type_filter_points_to
+
+        for e in walk_expr(stmt.addr):
+            if isinstance(e, VarRead):
+                orig = self.facts.var_by_temp.get(e.var.id)
+                if orig is None:
+                    continue
+                pts = self.am.solution.points_to_var(orig)
+                if self.am.use_type_filter:
+                    pts = type_filter_points_to(pts, stmt.value.type)
+                ids |= {o.id for o in pts}
+        return ids
+
+    # -- rules ------------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        self.rule_spec001()
+        self.rule_spec002()
+        self.rule_spec003()
+        self.rule_spec004()
+        self.rule_spec005()
+        self.rule_spec006()
+        return self.diags
+
+    def rule_spec001(self) -> None:
+        """A computed (non-load) redefinition of a checked temp must be
+        synced to memory or re-armed before any check of the temp; and
+        every check should be dominated by some ALAT-establishing
+        statement of the same temp (warn)."""
+        for t, checks in self.checks.items():
+            for d in self.plain_defs.get(t, []):
+                if not isinstance(d, Assign):
+                    continue
+                if isinstance(d.expr, Load) or (
+                    isinstance(d.expr, VarRead)
+                    and d.expr.var.has_memory_home
+                ):
+                    # reload from memory: register == memory at the def
+                    continue
+
+                def visit(stmt: Stmt, t=t, d=d) -> Optional[str]:
+                    if stmt is d:
+                        return None
+                    if self._is_sync_of(stmt, t):
+                        return "stop"
+                    if (
+                        isinstance(stmt, Assign)
+                        and stmt.target.id == t
+                        and stmt.spec_flag.is_check
+                    ):
+                        return "hit"
+                    if self._repairs(stmt, t):
+                        return "stop"
+                    return None
+
+                block, idx = self._after(d)
+                hit = self._walk_forward(block, idx, visit)
+                if hit is not None:
+                    self._report(
+                        "SPEC001",
+                        Severity.ERROR,
+                        hit,
+                        f"check of {d.target.name} is reachable from the "
+                        f"computed redefinition at "
+                        f"{d.loc if d.loc else f'sid {d.sid}'} with no "
+                        f"intervening sync store or re-arm",
+                    )
+
+            establishers: list[Stmt] = (
+                list(self.arming.get(t, []))
+                + list(self.invalas.get(t, []))
+                + list(checks)
+            )
+            name = checks[0].target.name
+            for c in checks:
+                if not any(
+                    e is not c and self._dominates_stmt(e, c)
+                    for e in establishers
+                ):
+                    self._report(
+                        "SPEC001",
+                        Severity.WARN,
+                        c,
+                        f"check of {name} is not dominated by an advanced "
+                        f"load, invala.e, or earlier check of the same temp",
+                    )
+
+    def rule_spec002(self) -> None:
+        """Every statement that may write a promoted temp's underlying
+        memory (a speculated-away chi_s in particular) must be followed
+        by a check on every path to every reuse of the temp."""
+        if self.am is None or not self.facts.targets_by_temp:
+            return
+        for t in sorted(self.web_temps):
+            if not self._combined_targets(t):
+                continue
+            tname = self._temp_name(t)
+            for block in self.fn.blocks:
+                for i, stmt in enumerate(block.stmts):
+                    if not self._invalidates(stmt, t):
+                        continue
+
+                    def visit(s: Stmt, t=t) -> Optional[str]:
+                        if self._repairs(s, t):
+                            return "stop"
+                        if self._reads_temp(s, t):
+                            return "hit"
+                        return None
+
+                    hit = self._walk_forward(block, i + 1, visit)
+                    if hit is not None:
+                        self._report(
+                            "SPEC002",
+                            Severity.ERROR,
+                            hit,
+                            f"use of speculated temp {tname} is reachable "
+                            f"from the may-aliasing write at "
+                            f"{stmt.loc if stmt.loc else f'sid {stmt.sid}'} "
+                            f"with no intervening check",
+                        )
+
+    def rule_spec003(self) -> None:
+        """Branching checks carry well-formed recovery that re-executes
+        the full cascade chain; non-branching checks must not have live
+        dependent cascaded loads (they cannot repair them)."""
+        for t, checks in self.checks.items():
+            dependents = self._dependents_of(t)
+            tname = self._temp_name(t)
+            for c in checks:
+                live_deps = [
+                    v for v in dependents if self._dep_live_after(c, v)
+                ]
+                if not c.spec_flag.is_branching_check:
+                    if live_deps:
+                        names = ", ".join(
+                            sorted(self._temp_name(v) for v in live_deps)
+                        )
+                        self._report(
+                            "SPEC003",
+                            Severity.ERROR,
+                            c,
+                            f"check of {tname} must be a branching chk.a "
+                            f"with recovery: dependent cascaded load(s) "
+                            f"{names} are reused after it without a reload",
+                        )
+                    continue
+                self._check_recovery(c, tname, live_deps)
+
+    def _check_recovery(
+        self, c: Assign, tname: str, live_deps: list[int]
+    ) -> None:
+        recovery = c.recovery or []
+        if not recovery:
+            self._report(
+                "SPEC003",
+                Severity.ERROR,
+                c,
+                f"branching check of {tname} has no recovery code",
+            )
+            return
+        if not (
+            isinstance(recovery[0], Assign)
+            and recovery[0].target.id == c.target.id
+        ):
+            self._report(
+                "SPEC003",
+                Severity.ERROR,
+                c,
+                f"recovery of {tname} does not start by reloading the "
+                f"checked temp itself",
+            )
+        defined: set[int] = set()
+        for r in recovery:
+            if not isinstance(r, Assign):
+                self._report(
+                    "SPEC003",
+                    Severity.ERROR,
+                    c,
+                    f"recovery of {tname} contains non-reexecutable "
+                    f"statement '{r}' (must be side-effect-free reloads)",
+                )
+                continue
+            later_defs = {
+                s.target.id
+                for s in recovery
+                if isinstance(s, Assign) and s is not r
+            }
+            for e in r.walk_exprs():
+                if (
+                    isinstance(e, VarRead)
+                    and e.var.is_temp
+                    and e.var.id in later_defs
+                    and e.var.id not in defined
+                ):
+                    self._report(
+                        "SPEC003",
+                        Severity.ERROR,
+                        c,
+                        f"recovery of {tname} reads {e.var.name} before "
+                        f"re-executing its load (cascade chain out of "
+                        f"order)",
+                    )
+            defined.add(r.target.id)
+        missing = [v for v in live_deps if v not in defined]
+        if missing:
+            names = ", ".join(sorted(self._temp_name(v) for v in missing))
+            self._report(
+                "SPEC003",
+                Severity.ERROR,
+                c,
+                f"recovery of {tname} does not re-execute dependent "
+                f"cascaded load(s) {names}",
+            )
+
+    def _dep_live_after(self, c: Assign, dep: int) -> bool:
+        """Is a stale use of ``dep`` reachable from check ``c`` without
+        an intervening reload of ``dep``?"""
+
+        def visit(s: Stmt) -> Optional[str]:
+            if s is c:
+                return None
+            if self._repairs(s, dep):
+                return "stop"
+            if self._reads_temp(s, dep):
+                return "hit"
+            return None
+
+        block, idx = self._after(c)
+        return self._walk_forward(block, idx, visit) is not None
+
+    def rule_spec004(self) -> None:
+        """A temp armed only outside a loop, used inside it, and
+        invalidated inside it must have an in-loop repair."""
+        if self.am is None or not self.facts.targets_by_temp:
+            return
+        for loop in self.loops:
+            for t in sorted(self.web_temps):
+                arming = self.arming.get(t, [])
+                if not arming:
+                    continue
+                if any(
+                    self.pos[a.sid][0].bid in loop.blocks for a in arming
+                ):
+                    continue  # armed inside: not hoisted past this loop
+                in_loop = [
+                    s
+                    for b in self.fn.blocks
+                    if b.bid in loop.blocks
+                    for s in b.stmts
+                ]
+                uses = [s for s in in_loop if self._reads_temp(s, t)]
+                if not uses:
+                    continue
+                if not any(self._invalidates(s, t) for s in in_loop):
+                    continue
+                if any(self._repairs(s, t) for s in in_loop):
+                    continue
+                self._report(
+                    "SPEC004",
+                    Severity.ERROR,
+                    uses[0],
+                    f"temp {self._temp_name(t)} armed outside the loop at "
+                    f"{loop.header.label} may be invalidated inside it "
+                    f"but has no in-loop check",
+                )
+
+    def rule_spec005(self) -> None:
+        """Every check reachable from an invala.e of the same temp must
+        be dominated by it — the invala clears the entry precisely so
+        those checks conservatively reload."""
+        for t, invalas in self.invalas.items():
+            for inv in invalas:
+
+                def visit(s: Stmt, t=t, inv=inv) -> Optional[str]:
+                    if s is inv:
+                        return None
+                    if (
+                        isinstance(s, Assign)
+                        and s.target.id == t
+                        and s.spec_flag.is_check
+                        and not self._dominates_stmt(inv, s)
+                    ):
+                        return "hit"
+                    return None
+
+                block, idx = self._after(inv)
+                hit = self._walk_forward(block, idx, visit)
+                if hit is not None:
+                    self._report(
+                        "SPEC005",
+                        Severity.ERROR,
+                        inv,
+                        f"invala.e of {self._temp_name(t)} reaches the "
+                        f"check at "
+                        f"{hit.loc if hit.loc else f'sid {hit.sid}'} "
+                        f"without dominating it",
+                    )
+
+    def rule_spec006(self) -> None:
+        """Static ALAT-pressure: warn when a loop keeps more advanced
+        loads simultaneously live than the ALAT has entries."""
+        for loop in self.loops:
+            live: set[int] = set()
+            for t in self.web_temps:
+                ops: list[Stmt] = (
+                    list(self.arming.get(t, []))
+                    + list(self.checks.get(t, []))
+                    + list(self.invalas.get(t, []))
+                )
+                if any(
+                    self.pos[o.sid][0].bid in loop.blocks for o in ops
+                ):
+                    live.add(t)
+                    continue
+                # armed above the loop and read inside it: the entry
+                # stays allocated across every iteration
+                if any(
+                    self.domtree.dominates(
+                        self.pos[a.sid][0], loop.header
+                    )
+                    for a in self.arming.get(t, [])
+                ) and any(
+                    self._reads_temp(s, t)
+                    for b in self.fn.blocks
+                    if b.bid in loop.blocks
+                    for s in b.stmts
+                ):
+                    live.add(t)
+            if len(live) > self.alat_entries:
+                anchor = loop.header.stmts[0] if loop.header.stmts else None
+                self._report(
+                    "SPEC006",
+                    Severity.WARN,
+                    anchor,
+                    f"loop at {loop.header.label} keeps {len(live)} "
+                    f"advanced loads simultaneously live but the ALAT "
+                    f"has only {self.alat_entries} entries (guaranteed "
+                    f"thrashing)",
+                )
+
+    # -- misc -------------------------------------------------------------
+
+    def _temp_name(self, temp_id: int) -> str:
+        for stmts in (self.arming, self.checks):
+            for s in stmts.get(temp_id, []):
+                return s.target.name
+        for inv in self.invalas.get(temp_id, []):
+            return inv.temp.name
+        return f"t{temp_id}"
+
+
+__all__ = ["PromotionFacts", "lint_module"]

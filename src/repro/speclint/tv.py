@@ -1,0 +1,168 @@
+"""Differential translation validation (SPEC009).
+
+The observable anchor of every compilation mode is the print stream
+plus the exit value (DESIGN.md section 7); the final global memory
+image is observable too (a later run would read it).  This module
+interprets the conservative (speculation off) and speculative IR of a
+program on the same inputs and reports the first divergent observable
+as a SPEC009 diagnostic carrying the Loc of the divergent ``print``.
+
+Interpretation — not simulation — on both sides keeps the comparison
+about the *IR transformation*: the interpreter executes checks as
+plain reloads and recovery unconditionally, which is the semantics the
+transformation must preserve regardless of dynamic ALAT behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.errors import InterpError
+from repro.ir.interp import Interpreter
+from repro.ir.loc import Loc
+from repro.ir.module import Module
+from repro.speclint.diagnostics import Diagnostic, Severity
+
+Value = float
+
+
+class _Run:
+    """One interpreted execution with per-print Loc attribution."""
+
+    def __init__(self, module: Module, args, max_steps: int) -> None:
+        self.prints: list[Optional[Loc]] = []
+        interp = Interpreter(
+            module,
+            max_steps=max_steps,
+            on_print=lambda stmt, text: self.prints.append(stmt.loc),
+        )
+        self.error: Optional[str] = None
+        self.exit_value: Optional[int] = None
+        self.output: list[str] = []
+        try:
+            result = interp.run(list(args))
+            self.exit_value = result.exit_value
+            self.output = result.output
+        except InterpError as exc:
+            self.error = f"{type(exc).__name__}: {exc}"
+            self.output = interp.output
+        self.globals = self._global_image(interp, module)
+
+    @staticmethod
+    def _global_image(interp: Interpreter, module: Module) -> dict[str, tuple]:
+        image: dict[str, tuple] = {}
+        for g in module.globals:
+            base = interp.var_address(g)
+            words = max(1, g.type.size_words())
+            image[g.name] = tuple(
+                interp.mem.get(base + w, 0) for w in range(words)
+            )
+        return image
+
+
+def diff_executions(
+    baseline: Module,
+    speculative: Module,
+    args,
+    name: str = "program",
+    max_steps: int = 50_000_000,
+) -> list[Diagnostic]:
+    """Interpret both modules on ``args`` and report every divergent
+    observable (first divergent print, exit value, global memory)."""
+    base = _Run(baseline, args, max_steps)
+    spec = _Run(speculative, args, max_steps)
+    diags: list[Diagnostic] = []
+
+    def report(message: str, loc: Optional[Loc] = None) -> None:
+        diags.append(
+            Diagnostic(
+                rule="SPEC009",
+                severity=Severity.ERROR,
+                message=message,
+                function=name,
+                loc=loc,
+            )
+        )
+
+    if base.error != spec.error:
+        report(
+            f"runtime behaviour diverged on args {list(args)}: "
+            f"baseline {base.error or 'completed'}, "
+            f"speculative {spec.error or 'completed'}"
+        )
+    for i, (b, s) in enumerate(zip(base.output, spec.output)):
+        if b != s:
+            loc = spec.prints[i] if i < len(spec.prints) else None
+            report(
+                f"print #{i + 1} diverged on args {list(args)}: "
+                f"baseline printed {b!r}, speculative printed {s!r}",
+                loc,
+            )
+            break
+    else:
+        if len(base.output) != len(spec.output):
+            longer = spec if len(spec.output) > len(base.output) else base
+            i = min(len(base.output), len(spec.output))
+            loc = longer.prints[i] if i < len(longer.prints) else None
+            report(
+                f"print stream length diverged on args {list(args)}: "
+                f"baseline {len(base.output)} line(s), speculative "
+                f"{len(spec.output)}",
+                loc,
+            )
+    if base.error is None and spec.error is None:
+        if base.exit_value != spec.exit_value:
+            report(
+                f"exit value diverged on args {list(args)}: baseline "
+                f"{base.exit_value}, speculative {spec.exit_value}"
+            )
+        for gname, image in base.globals.items():
+            other = spec.globals.get(gname)
+            if other != image:
+                report(
+                    f"final value of global {gname} diverged on args "
+                    f"{list(args)}: baseline {image}, speculative {other}"
+                )
+    return diags
+
+
+def validate_translation(
+    source: str,
+    options=None,
+    args=(),
+    train_args=None,
+    name: str = "program",
+    max_steps: int = 50_000_000,
+) -> list[Diagnostic]:
+    """Compile ``source`` conservatively and speculatively under
+    ``options`` and differentially validate the speculative IR."""
+    from repro.pipeline.driver import compile_source
+    from repro.pipeline.options import (
+        CompilerOptions,
+        SpecLintMode,
+        SpecMode,
+    )
+
+    opts = options or CompilerOptions()
+    # the analyzer validates; it must not gate its own inputs
+    spec_opts = replace(opts, speclint=SpecLintMode.OFF)
+    base_opts = replace(
+        opts, spec_mode=SpecMode.NONE, speclint=SpecLintMode.OFF
+    )
+    spec_out = compile_source(
+        source, spec_opts, train_args=train_args, name=name
+    )
+    base_out = compile_source(
+        source, base_opts, train_args=train_args, name=name
+    )
+    return diff_executions(
+        base_out.module,
+        spec_out.module,
+        list(args),
+        name=name,
+        max_steps=max_steps,
+    )
+
+
+__all__ = ["diff_executions", "validate_translation"]

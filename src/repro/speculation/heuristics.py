@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.alias.manager import AliasManager
-from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
+from repro.alias.memobj import HeapMemObject, MemObject
 from repro.ir.stmt import Stmt, Store
 from repro.ssa.hssa import SpecDecider
 

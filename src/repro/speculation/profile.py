@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.alias.manager import AliasManager
 from repro.alias.memobj import HeapMemObject, MemObject, VarMemObject
 from repro.ir.expr import Load
 from repro.ir.interp import InterpResult, Interpreter, OwnerTag

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function
-from repro.ssa.hssa import ChiOperand, HSSAInfo, MuOperand
 
 
 @dataclass

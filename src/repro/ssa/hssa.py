@@ -26,17 +26,10 @@ from repro.analysis.dominators import DominatorTree, compute_dominators
 from repro.analysis.domfrontier import compute_dominance_frontiers
 from repro.errors import IRError
 from repro.ir.cfg import BasicBlock
-from repro.ir.expr import Expr, Load, VarRead
+from repro.ir.expr import Load, VarRead
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.stmt import (
-    Alloc,
-    Assign,
-    Call,
-    Stmt,
-    Store,
-    stmt_defines,
-)
+from repro.ir.stmt import Assign, Call, Stmt, Store, stmt_defines
 from repro.ir.symbols import Variable, VirtualVariable
 
 #: Keys uniting real and virtual variables in one namespace.

@@ -23,7 +23,7 @@ Operand conventions (mirrored by :mod:`repro.machine.cpu`):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.errors import CodegenError, MachineError

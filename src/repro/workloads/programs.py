@@ -20,7 +20,7 @@ mirror the paper's train/ref input methodology.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

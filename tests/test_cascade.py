@@ -160,3 +160,62 @@ def test_recovery_pays_the_penalty():
     res = out.run([100])
     if res.counters.check_failures:
         assert res.counters.recovery_cycles > 0
+
+
+def test_recovery_reexecutes_whole_cascade_chain():
+    """Figure 4: when the chk.a of a cascaded chain fails, recovery must
+    re-execute *every* load of the chain (pointer and value), not just
+    the checked one — each re-arms its ALAT entry, so counting allocate
+    calls per register observes the re-execution directly."""
+    from collections import Counter
+
+    from repro.machine.cpu import Simulator
+    from repro.target.isa import Br, ChkA, Label, Ld, LoadKind, RetF
+
+    out = compile_chain(MISSPEC_SRC, rounds=2, train=[15])
+    if cascade_count(out) == 0:
+        pytest.skip("no cascade produced for this shape")
+
+    fn = out.program.functions["main"]
+    chks = [i for i in fn.instrs if isinstance(i, ChkA)]
+    assert chks, "cascade must lower to a branching chk.a"
+    chk = chks[0]
+
+    # The recovery body runs from its label to the branch back to the
+    # continuation; collect the advanced loads it re-executes.
+    start = fn.label_index(chk.recovery_label) + 1
+    rec_regs = []
+    for instr in fn.instrs[start:]:
+        if isinstance(instr, (Br, RetF, Label)):
+            break
+        if isinstance(instr, Ld) and instr.kind in (
+            LoadKind.ADVANCED, LoadKind.SPEC_ADVANCED
+        ):
+            rec_regs.append(instr.rd)
+    assert len(rec_regs) >= 2, (
+        "recovery must reload the pointer and the value"
+    )
+
+    sim = Simulator(out.program, out.options.machine)
+    allocs: Counter = Counter()
+    orig_allocate = sim.alat.allocate
+
+    def counting_allocate(tag, addr):
+        allocs[tag[1]] += 1
+        return orig_allocate(tag, addr)
+
+    sim.alat.allocate = counting_allocate
+    res = sim.run([100])
+
+    assert res.output == run_program(MISSPEC_SRC, [100]).output
+    assert res.counters.check_failures > 0, "n=100 must mis-speculate"
+    # Each load of the chain was armed once on entry and re-armed on
+    # every recovery run: both chain registers re-allocate in lockstep,
+    # and more than the single initial arming.
+    first, second = rec_regs[0], rec_regs[1]
+    assert allocs[first] >= 2, "recovery never re-executed the chain"
+    assert allocs[first] == allocs[second], (
+        "recovery re-executed only part of the cascade chain: "
+        f"reg {first} re-armed {allocs[first]}x but reg {second} "
+        f"{allocs[second]}x"
+    )

@@ -22,6 +22,7 @@ from repro.obs import (
     read_jsonl,
 )
 from repro.obs.regress import (
+    EXIT_NO_HISTORY,
     Flag,
     compare_records,
     gate_metrics,
@@ -315,6 +316,41 @@ def test_gate_metrics_consumes_harness_shape_and_cli(tmp_path):
         ["--metrics", str(mpath), "--history", hist, "--warn-only", "--no-update"]
     )
     assert rc == 0
+
+
+def test_gate_cli_refuses_to_gate_without_history(tmp_path, capsys):
+    """No history and no --allow-seed: a distinct exit code plus a clear
+    message, and nothing written — a misconfigured --history path must
+    not silently seed and pass CI."""
+    metrics = {"gzip": {"speculative": {"counters": _counters()}}}
+    mpath = tmp_path / "metrics.json"
+    mpath.write_text(json.dumps(metrics))
+    hist = str(tmp_path / "nonexistent-history")
+
+    rc = regress_main(["--metrics", str(mpath), "--history", hist])
+    assert rc == EXIT_NO_HISTORY and rc not in (0, 1)
+    err = capsys.readouterr().err
+    assert "no benchmark history" in err and "gzip" in err
+    assert "--allow-seed" in err
+    assert load_history(hist, "gzip") == []
+
+
+def test_gate_cli_allow_seed_records_baseline(tmp_path):
+    metrics = {"gzip": {"speculative": {"counters": _counters()}}}
+    mpath = tmp_path / "metrics.json"
+    mpath.write_text(json.dumps(metrics))
+    hist = str(tmp_path / "history")
+
+    rc = regress_main(
+        ["--metrics", str(mpath), "--history", hist, "--allow-seed"]
+    )
+    assert rc == 0
+    assert len(load_history(hist, "gzip")) == 1
+
+    # with history present, subsequent runs gate normally
+    rc = regress_main(["--metrics", str(mpath), "--history", hist])
+    assert rc == 0
+    assert len(load_history(hist, "gzip")) == 2
 
 
 # -- JsonlSink exception safety -----------------------------------------
