@@ -146,8 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    with open(args.file) as f:
-        source = f.read()
+    try:
+        with open(args.file) as f:
+            source = f.read()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"python -m repro: {args.file}: {reason}", file=sys.stderr)
+        return 2
 
     options = CompilerOptions(
         opt_level=OptLevel(args.opt),

@@ -1,0 +1,50 @@
+"""Chaos harness: ALAT fault injection + differential fuzzing.
+
+Three cooperating pieces (DESIGN.md section 11):
+
+* :mod:`repro.chaos.faults` — :class:`FaultPlan` / :class:`FaultInjector`,
+  seeded fault schedules the machine layer executes (entry drops,
+  spurious invalidations, flushes, geometry clamps);
+* :mod:`repro.chaos.generator` — seeded aliasing-heavy MiniC program
+  generation;
+* :mod:`repro.chaos.campaign` — the differential campaign (oracle =
+  unoptimised interpreter), ddmin reduction of failures, and the
+  planted-bug self-test.
+
+CLI: ``python -m repro.chaos --seed 0 --runs 200 --minimize``.
+"""
+
+from repro.chaos.campaign import (
+    CampaignFailure,
+    CampaignReport,
+    ChaosSelfTestError,
+    default_modes,
+    run_campaign,
+    run_self_test,
+)
+from repro.chaos.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    default_fault_plans,
+)
+from repro.chaos.generator import GeneratedProgram, generate_program
+from repro.chaos.reducer import ReductionError, reduce_lines, reduce_source
+
+__all__ = [
+    "CampaignFailure",
+    "CampaignReport",
+    "ChaosSelfTestError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "GeneratedProgram",
+    "ReductionError",
+    "default_fault_plans",
+    "default_modes",
+    "generate_program",
+    "reduce_lines",
+    "reduce_source",
+    "run_campaign",
+    "run_self_test",
+]

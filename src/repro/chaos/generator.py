@@ -1,0 +1,195 @@
+"""Seeded grammar-based MiniC program generator (aliasing-heavy).
+
+Drives the differential chaos campaign without requiring hypothesis:
+``generate_program(random.Random(seed))`` is a pure function of the
+RNG state, so every campaign program is reproducible from
+``(campaign_seed, index)`` alone and the reducer can recompile the
+exact source at will.
+
+The grammar is deliberately skewed toward what the paper's transform
+speculates on:
+
+* globals read in hot loops (promotion candidates);
+* pointers whose static points-to sets cover those globals but whose
+  *dynamic* target depends on the program input — training on one input
+  and running on another violates the profile, forcing the recovery
+  path (``ld.c`` miss / ``chk.a`` recovery);
+* may-alias stores *inside* the loops (collision generators);
+* pointer-to-pointer chains (``**q``) feeding cascade promotion;
+* occasional calls, floats and heap blocks for coverage breadth.
+
+Every generated program is well-defined: pointers only ever hold
+addresses of live globals/heap cells, array indices are masked,
+divisors are non-zero constants, and all loops are bounded by ``n %
+K`` — so the unoptimised interpreter is a sound oracle and a run can
+never hang (the harness additionally caps interpreter fuel and
+simulator instructions; see ``InterpTimeout``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated differential-test case."""
+
+    name: str
+    source: str
+    #: input for the measured (ref) run
+    ref_args: tuple[int, ...]
+    #: input for the profile-training run — drawn independently of
+    #: ``ref_args``, so speculation routinely trains on the wrong world
+    train_args: tuple[int, ...]
+
+
+_PRELUDE = """
+int g0; int g1; int g2; int g3;
+int arr[8];
+int *p0;
+int *p1;
+float f0;
+int calls;
+int helper(int x) {
+    calls = calls + 1;
+    g3 = g3 + x % 5;
+    return x * 2 + g0 % 3;
+}
+""".lstrip()
+
+_POINTER_TARGETS = ("&g0", "&g1", "&g2", "&arr[{i}]")
+
+_CHAIN_PRELUDE = """
+int a; int b; int c; int d;
+int *p;
+int *alt;
+int **q;
+int **w;
+int out;
+""".lstrip()
+
+
+def _expr(rng: random.Random, depth: int = 0) -> str:
+    atoms = ("i", "s", "g0", "g1", "g2", "g3", "*p0", "*p1",
+             "arr[i % 8]", str(rng.randint(-9, 9)))
+    if depth < 2 and rng.random() < 0.5:
+        op = rng.choice(("+", "-", "*"))
+        return f"({_expr(rng, depth + 1)} {op} {_expr(rng, depth + 1)})"
+    return rng.choice(atoms)
+
+
+def _alias_program(rng: random.Random) -> str:
+    """Globals + two pointers + a bounded loop of may-alias traffic."""
+    lines = []
+    t0 = rng.choice(_POINTER_TARGETS).format(i=rng.randint(0, 7))
+    t1 = rng.choice(_POINTER_TARGETS).format(i=rng.randint(0, 7))
+    if rng.random() < 0.6:
+        # input-dependent target: the profile-violating shape
+        lines.append(f"    if (n > {rng.choice((30, 50, 80))}) "
+                     f"{{ p0 = {t0}; }} else {{ p0 = {t1}; }}")
+    else:
+        lines.append(f"    p0 = {t0};")
+    t2 = rng.choice(_POINTER_TARGETS).format(i=rng.randint(0, 7))
+    lines.append(f"    p1 = {t2};")
+    if rng.random() < 0.3:
+        lines.append("    int *heap = alloc(int, 8);")
+        lines.append("    p1 = &heap[0];")
+
+    body = []
+    for _ in range(rng.randint(3, 10)):
+        kind = rng.randint(0, 7)
+        if kind == 0:
+            body.append(f"s = s + {_expr(rng)};")
+        elif kind == 1:
+            target = rng.choice(("g0", "g1", "g2", "g3", "arr[i % 8]"))
+            body.append(f"{target} = {_expr(rng)};")
+        elif kind == 2:
+            body.append(f"*{rng.choice(('p0', 'p1'))} = {_expr(rng)};")
+        elif kind == 3:
+            body.append(f"if ({_expr(rng)} > {_expr(rng)}) {{ s = s + 1; }}")
+        elif kind == 4:
+            body.append(f"s = s + *{rng.choice(('p0', 'p1'))};")
+        elif kind == 5:
+            body.append(f"f0 = f0 + {rng.randint(1, 3)}.5;")
+        elif kind == 6:
+            body.append(f"s = s + helper({_expr(rng)});")
+        else:
+            body.append(f"if (s > {rng.randint(1, 100) * 100}) {{ break; }}")
+
+    loop = "\n            ".join(body)
+    lines.append(f"""    int s = 0;
+    for (int i = 0; i < n % {rng.randint(5, 23)}; i = i + 1) {{
+            {loop}
+    }}""")
+    lines.append("    print(s); print(g0); print(g1); print(g2); print(g3);")
+    lines.append("    print(arr[0]); print(arr[5]); print(f0); print(*p0);")
+    lines.append("    print(*p1); print(calls);")
+    lines.append("    return s % 256;")
+    return _PRELUDE + "int main(int n) {\n" + "\n".join(lines) + "\n}\n"
+
+
+def _chain_program(rng: random.Random) -> str:
+    """``**q`` pointer chains with input-dependent redirection — the
+    cascade-promotion (section 2.4) stressor."""
+    lines = [
+        "    q = &p;",
+        f"    p = &{rng.choice(('a', 'b'))};",
+        "    alt = &d;",
+        "    w = &alt;",
+        "    if (n == -1) { w = &p; }",
+        f"    a = {rng.randint(1, 9)};",
+        f"    b = {rng.randint(1, 9)};",
+    ]
+    redirect_rate = rng.choice((0, 3, 7, 50))
+    body = []
+    if redirect_rate:
+        body.append(
+            f"if (i > {rng.randint(0, 30)} && i % {redirect_rate} == 0)"
+            " { w = &p; } else { w = &alt; }"
+        )
+    body.append("out = out + *(*q);")
+    body.append(f"*w = &{rng.choice(('b', 'c'))};")
+    if rng.random() < 0.5:
+        body.append("out = out + *(*q) % 11;")
+    if rng.random() < 0.5:
+        body.append(f"c = c + i % {rng.randint(2, 6)};")
+    loop = "\n        ".join(body)
+    lines.append(f"""    int i = 0;
+    while (i < n % {rng.randint(11, 67)}) {{
+        {loop}
+        i = i + 1;
+    }}""")
+    lines.append("    print(out); print(*p); print(c); print(d);")
+    lines.append("    return out % 256;")
+    return _CHAIN_PRELUDE + "int main(int n) {\n" + "\n".join(lines) + "\n}\n"
+
+
+def generate_program(
+    rng_or_seed: Union[random.Random, int], index: int = 0
+) -> GeneratedProgram:
+    """Generate one aliasing-heavy MiniC program.
+
+    Accepts a ``random.Random`` (consumed in place) or a plain seed.
+    Train and ref inputs are drawn independently so roughly every other
+    program trains its alias profile on an input whose pointer targets
+    differ from the measured run's.
+    """
+    rng = (rng_or_seed if isinstance(rng_or_seed, random.Random)
+           else random.Random(rng_or_seed))
+    if rng.random() < 0.35:
+        source = _chain_program(rng)
+        shape = "chain"
+    else:
+        source = _alias_program(rng)
+        shape = "alias"
+    ref = rng.randint(0, 120)
+    train = rng.randint(0, 120)
+    return GeneratedProgram(
+        name=f"{shape}-{index}",
+        source=source,
+        ref_args=(ref,),
+        train_args=(train,),
+    )

@@ -1,0 +1,105 @@
+"""Delta-debugging reducer for divergent chaos programs.
+
+Classic ddmin (Zeller & Hildebrandt) over source *lines*: repeatedly
+try removing chunks of lines, keeping any candidate for which the
+interestingness predicate still holds, shrinking the chunk granularity
+until no single line can be removed (1-minimality).
+
+The generator emits one statement per line precisely so that line
+granularity is semantic granularity here; brace balance is preserved
+naturally because removing a line with an opening brace makes the
+candidate unparseable, which the predicate reports as uninteresting.
+
+The predicate owns all domain knowledge (compile, run, compare against
+the oracle under the fault plan); the reducer only needs ``bool``.
+Predicate results are cached by candidate text, since ddmin retries
+overlapping subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ReductionError(Exception):
+    """The original input did not satisfy the predicate."""
+
+
+def reduce_lines(
+    lines: list[str],
+    is_interesting: Callable[[list[str]], bool],
+    max_tests: int = 2000,
+) -> list[str]:
+    """ddmin over ``lines``; returns a 1-minimal interesting subset.
+
+    ``is_interesting`` must be False for unparseable candidates (treat
+    exceptions as False) and True for the full input.  ``max_tests``
+    bounds predicate invocations; on exhaustion the best reduction so
+    far is returned (still interesting, possibly not 1-minimal).
+    """
+    cache: dict[tuple[str, ...], bool] = {}
+    tests = 0
+
+    def check(candidate: list[str]) -> bool:
+        nonlocal tests
+        key = tuple(candidate)
+        if key in cache:
+            return cache[key]
+        if tests >= max_tests:
+            return False
+        tests += 1
+        try:
+            verdict = bool(is_interesting(candidate))
+        except Exception:
+            verdict = False
+        cache[key] = verdict
+        return verdict
+
+    if not check(lines):
+        raise ReductionError(
+            "reduce_lines: the unreduced input is not interesting — "
+            "the failure is non-deterministic or the predicate is wrong"
+        )
+
+    current = list(lines)
+    n = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // n)
+        start = 0
+        reduced = False
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and check(candidate):
+                current = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                # restart the sweep at the same granularity
+                start = 0
+                continue
+            start += chunk
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(n * 2, len(current))
+        if tests >= max_tests:
+            break
+    return current
+
+
+def reduce_source(
+    source: str,
+    is_interesting: Callable[[str], bool],
+    max_tests: int = 2000,
+) -> str:
+    """Line-based ddmin over a source string (see :func:`reduce_lines`).
+
+    Blank lines are dropped up front — they are never load-bearing in
+    MiniC and halving the line count halves the search space.
+    """
+    lines = [ln for ln in source.splitlines() if ln.strip()]
+    minimal = reduce_lines(
+        lines,
+        lambda cand: is_interesting("\n".join(cand) + "\n"),
+        max_tests=max_tests,
+    )
+    return "\n".join(minimal) + "\n"

@@ -13,6 +13,10 @@ class ReproError(Exception):
     """Base class for every error raised by the repro package."""
 
 
+class ConfigError(ReproError):
+    """Invalid machine/compiler configuration (bad ALAT geometry...)."""
+
+
 class SourceError(ReproError):
     """Error in MiniC source code, carrying a source location.
 
@@ -69,8 +73,21 @@ class InterpError(ReproError):
     """Runtime error while interpreting IR (bad address, div by zero...)."""
 
 
-class InterpLimitExceeded(InterpError):
-    """The interpreter hit its step budget (likely a non-terminating run)."""
+class InterpTimeout(InterpError):
+    """The interpreter exhausted its fuel/step budget.
+
+    Fuzzing and workload harnesses pass a bounded ``max_steps`` so a
+    generated or adversarial program can never hang the process; they
+    catch this class to record the run as "timed out" and move on.
+    """
+
+
+class InterpLimitExceeded(InterpTimeout):
+    """The interpreter hit its step budget (likely a non-terminating run).
+
+    Kept as the concrete raised class for backwards compatibility;
+    ``InterpTimeout`` is the documented catch point.
+    """
 
 
 class CodegenError(ReproError):

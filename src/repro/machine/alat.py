@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.errors import ConfigError
+
 #: An entry tag: (activation serial, register number).
 RegTag = tuple[int, int]
 
@@ -35,9 +37,25 @@ class ALATConfig:
     #: bits of the word address kept in the entry
     partial_bits: int = 20
 
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.associativity <= 0:
+            raise ConfigError(
+                f"ALAT geometry must be positive: entries={self.entries}, "
+                f"associativity={self.associativity}"
+            )
+        if self.entries % self.associativity != 0:
+            raise ConfigError(
+                f"ALAT entries ({self.entries}) must be a multiple of the "
+                f"associativity ({self.associativity})"
+            )
+        if not 0 < self.partial_bits <= 64:
+            raise ConfigError(
+                f"ALAT partial_bits must be in (0, 64], got {self.partial_bits}"
+            )
+
     @property
     def sets(self) -> int:
-        return max(1, self.entries // self.associativity)
+        return self.entries // self.associativity
 
 
 @dataclass
@@ -51,6 +69,12 @@ class ALATStats:
     explicit_drops: int = 0
     check_hits: int = 0
     check_misses: int = 0
+    #: chaos-injected faults (zero outside fault-injection runs); every
+    #: injected fault is visible here *and* as a ``chaos.fault`` trace
+    #: event — the accounting invariant ``repro.chaos`` enforces.
+    chaos_dropped_allocations: int = 0
+    chaos_spurious_invalidations: int = 0
+    chaos_flushes: int = 0
 
 
 @dataclass
@@ -61,10 +85,23 @@ class _Entry:
 
 
 class ALAT:
-    """Functional ALAT model."""
+    """Functional ALAT model.
 
-    def __init__(self, config: Optional[ALATConfig] = None) -> None:
+    ``injector`` is an optional :class:`repro.chaos.FaultInjector`
+    (duck-typed: the machine layer never imports ``repro.chaos``).  It
+    may clamp the geometry at construction and, at run time, drop
+    allocations or spuriously invalidate live entries — faults that are
+    *safe by construction*: they only ever remove entries, so a check
+    can spuriously miss (costing a reload) but never spuriously hit.
+    """
+
+    def __init__(
+        self, config: Optional[ALATConfig] = None, injector=None
+    ) -> None:
         self.config = config or ALATConfig()
+        self.injector = injector
+        if injector is not None:
+            self.config = injector.effective_alat_config(self.config)
         self.stats = ALATStats()
         self._sets: list[list[_Entry]] = [[] for _ in range(self.config.sets)]
         self._clock = 0
@@ -93,6 +130,13 @@ class ALAT:
         """ld.a / ld.sa: (re-)allocate the entry for ``tag``."""
         self._clock += 1
         self.stats.allocations += 1
+        if self.injector is not None and self.injector.drop_allocation():
+            # Injected fault: the table silently fails to latch the
+            # entry.  Subsequent checks miss and reload — safe.
+            self.stats.chaos_dropped_allocations += 1
+            if self.observer is not None:
+                self.observer("chaos.fault", kind="drop_alloc", tag=tag, addr=addr)
+            return
         bucket = self._sets[self._set_index(tag)]
         existing = self._find(tag)
         if existing is not None:
@@ -133,6 +177,16 @@ class ALAT:
 
     def check(self, tag: RegTag, clear: bool) -> bool:
         """ld.c / chk.a probe: True when the entry survived."""
+        if self.injector is not None:
+            victim = self.injector.spurious_victim(self._sets)
+            if victim is not None:
+                set_index, entry = victim
+                self._sets[set_index].remove(entry)
+                self.stats.chaos_spurious_invalidations += 1
+                if self.observer is not None:
+                    self.observer(
+                        "chaos.fault", kind="spurious_invalidate", tag=entry.tag
+                    )
         entry = self._find(tag)
         if entry is None:
             self.stats.check_misses += 1
@@ -171,6 +225,16 @@ class ALAT:
         """invala: flush the table (also used at context boundaries)."""
         for bucket in self._sets:
             bucket.clear()
+
+    def chaos_flush(self) -> None:
+        """Injected context-switch flush: the OS ran another thread and
+        the whole table is gone (architecturally allowed at any time —
+        software may never rely on an entry surviving)."""
+        dropped = self.occupancy
+        self.invalidate_all()
+        self.stats.chaos_flushes += 1
+        if self.observer is not None:
+            self.observer("chaos.fault", kind="flush", dropped=dropped)
 
     @property
     def occupancy(self) -> int:

@@ -77,10 +77,19 @@ class _Level:
 
 
 class CacheHierarchy:
-    """L1 → L2 → memory; returns the load latency for an address."""
+    """L1 → L2 → memory; returns the load latency for an address.
 
-    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+    ``injector`` is an optional :class:`repro.chaos.FaultInjector`
+    (duck-typed); it may clamp the cache geometry at construction —
+    a pure timing perturbation that can never change program output.
+    """
+
+    def __init__(
+        self, config: Optional[CacheConfig] = None, injector=None
+    ) -> None:
         self.config = config or CacheConfig()
+        if injector is not None:
+            self.config = injector.effective_cache_config(self.config)
         self.stats = CacheStats()
         self._l1 = _Level(self.config.l1, self.config.line_words)
         self._l2 = _Level(self.config.l2, self.config.line_words)

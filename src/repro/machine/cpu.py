@@ -135,13 +135,19 @@ class Simulator:
         config: Optional[MachineConfig] = None,
         obs: Optional[TraceContext] = None,
         profile: bool = False,
+        injector=None,
     ) -> None:
         self.program = program
         self.config = config or MachineConfig()
         self.obs = obs if obs is not None else NULL_TRACE
         self.counters = Counters()
-        self.alat = ALAT(self.config.alat)
-        self.cache = CacheHierarchy(self.config.cache)
+        #: optional :class:`repro.chaos.FaultInjector` (duck-typed) —
+        #: clamps ALAT/cache geometry and injects ALAT faults; all its
+        #: faults are safe-by-construction (they only remove entries or
+        #: slow paths down, never fabricate a check hit).
+        self.injector = injector
+        self.alat = ALAT(self.config.alat, injector=injector)
+        self.cache = CacheHierarchy(self.config.cache, injector=injector)
         self.rse = RegisterStackEngine(self.config.rse)
         self.mem: dict[int, Value] = dict(program.data)
         self.output: list[str] = []
@@ -203,6 +209,12 @@ class Simulator:
         self.obs.event(
             "sim.begin", program=self.program.name, args=list(args or [])
         )
+        if self.injector is not None and self.obs.enabled:
+            # Static (geometry-clamp) faults were applied at component
+            # construction; surface each as one chaos.fault row so the
+            # trace accounts for every injected fault, dynamic or not.
+            for kind, detail in self.injector.static_faults:
+                self.obs.event("chaos.fault", kind=kind, **detail)
         main = self.program.function("main")
         self.rse.call(main.nregs)
         result = self._run_function(main, list(args or []))
@@ -273,6 +285,9 @@ class Simulator:
         # None on unprofiled runs, costing one falsy check per retired
         # instruction and nothing else.
         prof = self.profile
+        # Fault-injection state, same pattern: one falsy check per
+        # retired instruction when no injector is attached.
+        inj = self.injector
 
         while True:
             if pc >= len(instrs):
@@ -289,6 +304,8 @@ class Simulator:
                 )
             if snap and counters.instructions % snap == 0:
                 obs.event("counters.snapshot", **counters.as_dict())
+            if inj is not None and inj.context_switch():
+                self.alat.chaos_flush()
 
             # issue: wait for source operands
             start = self.time
@@ -550,6 +567,9 @@ def run_machine(
     config: Optional[MachineConfig] = None,
     obs: Optional[TraceContext] = None,
     profile: bool = False,
+    injector=None,
 ) -> MachineResult:
     """Convenience wrapper."""
-    return Simulator(program, config, obs=obs, profile=profile).run(args)
+    return Simulator(
+        program, config, obs=obs, profile=profile, injector=injector
+    ).run(args)

@@ -28,6 +28,13 @@ Event schema (documented in DESIGN.md §"Trace schema"):
 ``alat.check``            ``ld.c``/``chk.a`` probe (``hit`` bool)
 ``alat.invalidate``       ``invala.e`` (``dropped`` bool)
 ``cache.miss``            data-cache miss (``level``)
+``chaos.fault``           one injected fault (``kind`` plus kind-specific
+                          detail: geometry clamps carry ``field`` /
+                          ``before`` / ``after``; dynamic faults carry
+                          ``tag`` / ``addr`` / ``dropped``)
+``pipeline.fallback``     graceful degradation retried a compilation
+                          conservatively (``error``, ``failed``,
+                          ``retry``)
 ``rse.spill/fill``        register-stack traffic (``regs``, ``cycles``)
 ``counters.snapshot``     periodic counter time-series sample
 ``sim.begin/end``         one simulated run

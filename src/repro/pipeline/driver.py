@@ -20,10 +20,12 @@ exactly like instrumenting the unoptimised binary, as the authors did.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.alias.manager import AliasManager
+from repro.errors import ConfigError, SourceError, SpecLintError
 from repro.ir.interp import InterpResult, run_module
 from repro.ir.module import Module
 from repro.ir.stmt import Stmt, Store
@@ -109,27 +111,41 @@ class CompileOutput:
     profile: Optional[AliasProfile] = None
     pre_stats: dict[str, FunctionPREStats] = field(default_factory=dict)
     #: speculation-safety findings from the ``speclint`` phase (empty
-    #: when the analyzer is off or the compilation is clean)
+    #: when the analyzer is off or the compilation is clean), plus one
+    #: ``FALLBACK`` diagnostic per graceful-degradation retry taken.
     diagnostics: list = field(default_factory=list)
+    #: True when an internal error forced a conservative recompilation;
+    #: ``options`` then reflects the configuration that actually built
+    #: the program, not the one requested.
+    fallback: bool = False
     #: the trace context the compilation ran under (a fresh disabled one
     #: when the caller passed none) — ``run()`` keeps using it.
     obs: TraceContext = field(default_factory=TraceContext)
 
     def run(
-        self, args: Optional[list[Value]] = None, profile: bool = False
+        self,
+        args: Optional[list[Value]] = None,
+        profile: bool = False,
+        injector=None,
     ) -> MachineResult:
         """Simulate the compiled program.  With ``profile`` set, the
         result carries a :class:`repro.obs.RunProfile` attributing
-        retired cycles and ALAT events to source locations."""
+        retired cycles and ALAT events to source locations.
+        ``injector`` threads a :class:`repro.chaos.FaultInjector` into
+        the machine (one injector per run — it owns a seeded RNG)."""
         with self.obs.phase("simulate"):
             return Simulator(
                 self.program, self.options.machine, obs=self.obs,
-                profile=profile,
+                profile=profile, injector=injector,
             ).run(args)
 
-    def interpret(self, args: Optional[list[Value]] = None) -> InterpResult:
+    def interpret(
+        self,
+        args: Optional[list[Value]] = None,
+        max_steps: int = 50_000_000,
+    ) -> InterpResult:
         """Run the (optimised) IR under the interpreter (oracle)."""
-        return run_module(self.module, args)
+        return run_module(self.module, args, max_steps=max_steps)
 
     @property
     def total_reloads(self) -> int:
@@ -177,6 +193,78 @@ def compile_source(
             profile, _ = collect_alias_profile(module, train_args)
             info["train_args"] = list(train_args or [])
 
+    attempts = [opts] + (_fallback_ladder(opts) if opts.fallback else [])
+    fallback_diags: list = []
+    for i, attempt in enumerate(attempts):
+        # Optimisation phases mutate the module in place, so every retry
+        # re-lowers from source (it parsed once; it parses again).
+        attempt_module = module if i == 0 else compile_to_ir(source, name)
+        try:
+            output = _compile_module(
+                attempt_module, attempt, profile, name, obs
+            )
+        except (SourceError, SpecLintError, ConfigError):
+            # User-facing verdicts, not internal crashes: a source error
+            # or bad configuration will not compile any better at -O0,
+            # and papering over a speclint finding would defeat it.
+            raise
+        except Exception as exc:
+            if i + 1 >= len(attempts):
+                raise
+            retry = attempts[i + 1]
+            obs.event(
+                "pipeline.fallback",
+                error=f"{type(exc).__name__}: {exc}",
+                failed=attempt.describe(),
+                retry=retry.describe(),
+            )
+            from repro.speclint.diagnostics import Diagnostic, Severity
+
+            fallback_diags.append(
+                Diagnostic(
+                    rule="FALLBACK",
+                    severity=Severity.WARN,
+                    message=(
+                        f"internal error under {attempt.describe()} "
+                        f"({type(exc).__name__}: {exc}); retried with "
+                        f"{retry.describe()}"
+                    ),
+                    function="<pipeline>",
+                )
+            )
+            continue
+        output.fallback = i > 0
+        if fallback_diags:
+            output.diagnostics = fallback_diags + output.diagnostics
+        return output
+    raise AssertionError("unreachable: attempts is never empty")
+
+
+def _fallback_ladder(opts: CompilerOptions) -> list[CompilerOptions]:
+    """Conservative retry configurations, in order: drop speculation
+    first, then step the optimisation level down to -O1 and -O0.  Every
+    rung disables further fallback bookkeeping knobs that could
+    themselves fail the same way (speculation, extra rounds)."""
+    ladder = []
+    base = dataclasses.replace(
+        opts, spec_mode=SpecMode.NONE, rounds=1, fallback=False
+    )
+    if opts.spec_mode is not SpecMode.NONE or opts.rounds != 1:
+        ladder.append(base)
+    for level in (OptLevel.O1, OptLevel.O0):
+        if opts.opt_level > level:
+            ladder.append(dataclasses.replace(base, opt_level=level))
+    return ladder
+
+
+def _compile_module(
+    module: Module,
+    opts: CompilerOptions,
+    profile: Optional[AliasProfile],
+    name: str,
+    obs: TraceContext,
+) -> CompileOutput:
+    """Run every post-frontend phase on ``module`` (mutating it)."""
     output = CompileOutput(module, MProgram(name), opts, profile=profile, obs=obs)
 
     if opts.opt_level >= OptLevel.O1:
@@ -297,8 +385,11 @@ def compile_and_run(
 
 
 def run_program(
-    source: str, args: Optional[list[Value]] = None
+    source: str,
+    args: Optional[list[Value]] = None,
+    max_steps: int = 50_000_000,
 ) -> InterpResult:
     """Interpret a MiniC program directly (no optimisation) — the
-    reference oracle for everything else."""
-    return run_module(compile_to_ir(source), args)
+    reference oracle for everything else.  ``max_steps`` is the fuel
+    budget; exhausting it raises :class:`repro.errors.InterpTimeout`."""
+    return run_module(compile_to_ir(source), args, max_steps=max_steps)

@@ -72,6 +72,11 @@ class CompilerOptions:
     cleanup: bool = True
     #: speculation-safety analyzer (repro.speclint) after codegen
     speclint: SpecLintMode = SpecLintMode.STRICT
+    #: graceful degradation: on an internal error in an optimisation
+    #: phase, retry the compilation conservatively (spec off, then lower
+    #: opt levels) instead of failing the run.  Differential harnesses
+    #: set this False so compiler bugs surface instead of self-healing.
+    fallback: bool = True
     machine: MachineConfig = field(default_factory=MachineConfig)
 
     @property

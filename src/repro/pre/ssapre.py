@@ -43,6 +43,13 @@ from repro.pre.candidates import Candidate, CandidateKind, Occurrence
 from repro.pre.rewrite import replace_exprs_in_stmt
 from repro.ssa.hssa import ChiOperand, HSSAInfo, VarKey, compute_spec_bases
 
+#: Chaos-harness self-test hook: when True, ``_rewrite_alat_use`` omits
+#: the ld.c it is supposed to insert, producing a real miscompile (a
+#: speculated value consumed without a check).  Flipped only by
+#: ``repro.chaos.campaign.run_self_test`` to prove the differential
+#: harness detects and minimises exactly this bug class.
+CHAOS_DISABLE_CHECK_REWRITE = False
+
 
 @dataclass
 class PREOptions:
@@ -928,6 +935,14 @@ class SSAPRE:
         block = stmt.block
         assert block is not None
         assert occ.expr is not None
+        if CHAOS_DISABLE_CHECK_REWRITE:
+            # Deliberately miscompile: consume the speculated temp with
+            # no ld.c guarding it.  Only repro.chaos.run_self_test sets
+            # this, to prove the differential harness catches the class
+            # of bug the check insertion exists to prevent.
+            replace_exprs_in_stmt(stmt, {occ.expr.eid: VarRead(temp)})
+            self.result.reloads += 1
+            return
         check = Assign(temp, self._clone_template(), spec_flag=SpecFlag.LD_C_NC)
         check.loc = stmt.loc
         block.insert_before(stmt, check)
@@ -1166,6 +1181,10 @@ class SSAPRE:
                     temp, self._candidate_home_addr(), clone_expr(stmt.addr)
                 )
             else:
+                if CHAOS_DISABLE_CHECK_REWRITE:
+                    # Chaos self-test (see flag docstring): leave the
+                    # speculated temp unchecked past this store.
+                    continue
                 check = Assign(
                     temp, self._template_via_addr_temp(), spec_flag=SpecFlag.LD_C_NC
                 )

@@ -18,6 +18,8 @@ from repro.workloads.programs import BENCHMARKS, Workload, get_workload
 from repro.workloads.runner import (
     BenchmarkResult,
     ModeResult,
+    WorkloadFailure,
+    WorkloadMatrixError,
     gate_results,
     run_benchmark,
     run_all_benchmarks,
@@ -38,6 +40,8 @@ __all__ = [
     "get_workload",
     "BenchmarkResult",
     "ModeResult",
+    "WorkloadFailure",
+    "WorkloadMatrixError",
     "gate_results",
     "run_benchmark",
     "run_all_benchmarks",

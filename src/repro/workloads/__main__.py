@@ -1,0 +1,46 @@
+"""``python -m repro.workloads`` — run the full benchmark matrix.
+
+Failing benchmarks are reported at the end instead of aborting the
+sweep; the exit status is 1 when any benchmark failed, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workloads.report import figure8_table
+from repro.workloads.runner import WorkloadFailure, run_all_benchmarks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Compile, profile and simulate every benchmark "
+        "(baseline vs speculative), tolerating individual failures.",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write per-mode JSONL event traces under this directory",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[WorkloadFailure] = []
+    results = run_all_benchmarks(trace_dir=args.trace_dir, failures=failures)
+    if results:
+        print(figure8_table(results))
+    for failure in failures:
+        print(f"FAILED {failure.format()}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} benchmark(s) failed, "
+            f"{len(results)} succeeded",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

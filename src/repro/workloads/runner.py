@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import ReproError, SourceError
 from repro.machine.counters import Counters
 from repro.machine.cpu import MachineConfig, MachineResult
 from repro.obs import JsonlSink, TraceContext
@@ -28,13 +29,54 @@ from repro.workloads.programs import BENCHMARKS, Workload, get_workload
 
 
 def BASELINE() -> CompilerOptions:
-    """The paper's -O3 baseline: classical PRE + software checks."""
-    return CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.NONE)
+    """The paper's -O3 baseline: classical PRE + software checks.
+
+    ``fallback`` is off: a measurement that silently degraded to -O0
+    would corrupt every reduction percentage it feeds into."""
+    return CompilerOptions(
+        opt_level=OptLevel.O3, spec_mode=SpecMode.NONE, fallback=False
+    )
 
 
 def SPECULATIVE() -> CompilerOptions:
     """-O3 + profile-guided ALAT speculation (the paper's treatment)."""
-    return CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE)
+    return CompilerOptions(
+        opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, fallback=False
+    )
+
+
+@dataclass
+class WorkloadFailure:
+    """One benchmark that failed to compile, run, or validate."""
+
+    name: str
+    exc_type: str
+    error: str
+    #: ``line:column`` when the exception carried a source location
+    loc: Optional[str] = None
+
+    def format(self) -> str:
+        where = f" at {self.loc}" if self.loc else ""
+        return f"{self.name}{where}: {self.exc_type}: {self.error}"
+
+
+class WorkloadMatrixError(ReproError):
+    """Raised at the *end* of a benchmark sweep that had failures.
+
+    Carries both the failures and the partial results so callers can
+    still report the benchmarks that did succeed."""
+
+    def __init__(
+        self,
+        failures: list[WorkloadFailure],
+        results: dict[str, "BenchmarkResult"],
+    ) -> None:
+        self.failures = failures
+        self.results = results
+        lines = [f"{len(failures)} of {len(failures) + len(results)} "
+                 f"benchmark(s) failed:"]
+        lines += [f"  {f.format()}" for f in failures]
+        super().__init__("\n".join(lines))
 
 
 @dataclass
@@ -222,12 +264,32 @@ def run_benchmark(
 def run_all_benchmarks(
     machine_config: Optional[MachineConfig] = None,
     trace_dir: Optional[str] = None,
+    failures: Optional[list[WorkloadFailure]] = None,
 ) -> dict[str, BenchmarkResult]:
-    """All ten benchmarks, in the paper's reporting order."""
-    return {
-        name: run_benchmark(name, machine_config, trace_dir=trace_dir)
-        for name in BENCHMARKS
-    }
+    """All ten benchmarks, in the paper's reporting order.
+
+    A failing benchmark no longer aborts the sweep: its exception is
+    recorded as a :class:`WorkloadFailure` and the remaining benchmarks
+    still run.  Pass ``failures`` (a list to append into) to collect
+    them yourself; otherwise a non-empty failure set raises
+    :class:`WorkloadMatrixError` — after the sweep — with the partial
+    results attached.
+    """
+    collected: list[WorkloadFailure] = failures if failures is not None else []
+    results: dict[str, BenchmarkResult] = {}
+    for name in BENCHMARKS:
+        try:
+            results[name] = run_benchmark(name, machine_config, trace_dir=trace_dir)
+        except Exception as exc:
+            loc = None
+            if isinstance(exc, SourceError) and exc.line:
+                loc = f"{exc.line}:{exc.column}"
+            collected.append(
+                WorkloadFailure(name, type(exc).__name__, str(exc), loc)
+            )
+    if failures is None and collected:
+        raise WorkloadMatrixError(collected, results)
+    return results
 
 
 def gate_results(

@@ -1,0 +1,450 @@
+"""The chaos harness: fault injection, differential campaign, reduction,
+graceful pipeline degradation, and the tolerant workload matrix."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosSelfTestError,
+    FaultInjector,
+    FaultPlan,
+    GeneratedProgram,
+    ReductionError,
+    default_fault_plans,
+    generate_program,
+    reduce_lines,
+    reduce_source,
+    run_campaign,
+    run_self_test,
+)
+from repro.chaos.campaign import SELF_TEST_PROGRAM, default_modes
+from repro.errors import (
+    ConfigError,
+    InterpLimitExceeded,
+    InterpTimeout,
+    ParseError,
+    ReproError,
+)
+from repro.machine.alat import ALATConfig
+from repro.machine.cpu import Simulator
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import TraceContext
+from repro.pipeline import (
+    CompilerOptions,
+    OptLevel,
+    SpecMode,
+    compile_source,
+    run_program,
+)
+
+AGGRESSIVE = FaultPlan(
+    name="aggressive",
+    seed=7,
+    alat_entries=2,
+    alat_associativity=2,
+    partial_bits=4,
+    drop_alloc_rate=0.3,
+    spurious_invalidate_rate=0.5,
+    flush_rate=0.05,
+)
+
+
+def _compile_canonical():
+    return compile_source(
+        SELF_TEST_PROGRAM.source,
+        CompilerOptions(
+            opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, fallback=False
+        ),
+        train_args=list(SELF_TEST_PROGRAM.train_args),
+    )
+
+
+def _simulate(output, args, plan):
+    sink = MemorySink()
+    injector = FaultInjector(plan) if plan is not None else None
+    sim = Simulator(
+        output.program, output.options.machine,
+        obs=TraceContext(sink), injector=injector,
+    )
+    return sim.run(list(args)), injector, sink
+
+
+# ---------------------------------------------------------------------------
+# ALATConfig validation
+# ---------------------------------------------------------------------------
+
+
+def test_alat_config_rejects_non_multiple_geometry():
+    with pytest.raises(ConfigError, match="multiple"):
+        ALATConfig(entries=6, associativity=4)
+
+
+@pytest.mark.parametrize("entries,assoc", [(0, 2), (-4, 2), (4, 0), (4, -1)])
+def test_alat_config_rejects_non_positive_geometry(entries, assoc):
+    with pytest.raises(ConfigError, match="positive"):
+        ALATConfig(entries=entries, associativity=assoc)
+
+
+@pytest.mark.parametrize("bits", [0, -3, 65, 100])
+def test_alat_config_rejects_bad_partial_bits(bits):
+    with pytest.raises(ConfigError, match="partial_bits"):
+        ALATConfig(partial_bits=bits)
+
+
+def test_alat_config_error_is_repro_error():
+    with pytest.raises(ReproError):
+        ALATConfig(entries=3, associativity=2)
+
+
+def test_alat_config_accepts_valid_geometry():
+    cfg = ALATConfig(entries=64, associativity=4, partial_bits=64)
+    assert cfg.sets == 16
+
+
+# ---------------------------------------------------------------------------
+# fault injector: determinism + safety + accounting
+# ---------------------------------------------------------------------------
+
+
+def test_injector_is_deterministic_per_seed():
+    out = _compile_canonical()
+    runs = [_simulate(out, SELF_TEST_PROGRAM.ref_args, AGGRESSIVE)
+            for _ in range(2)]
+    (r1, i1, _), (r2, i2, _) = runs
+    assert i1.stats.counts == i2.stats.counts
+    assert i1.stats.total > 0
+    assert r1.output == r2.output
+    assert r1.counters.check_failures == r2.counters.check_failures
+
+
+def test_faults_never_change_output():
+    out = _compile_canonical()
+    reference = run_program(
+        SELF_TEST_PROGRAM.source, list(SELF_TEST_PROGRAM.ref_args)
+    )
+    for plan in [AGGRESSIVE] + default_fault_plans(seed=3):
+        result, injector, _ = _simulate(
+            out, SELF_TEST_PROGRAM.ref_args, plan
+        )
+        assert result.output == reference.output, plan.describe()
+        assert result.exit_value == reference.exit_value
+
+
+@pytest.mark.parametrize(
+    "plan,args,expect_kinds",
+    [
+        # n=80 keeps p = &b, so ALAT entries survive to be victims
+        (
+            FaultPlan(name="inval-only", seed=5,
+                      spurious_invalidate_rate=0.5),
+            (80,),
+            {"spurious_invalidate"},
+        ),
+        (
+            FaultPlan(name="flush-only", seed=5, flush_rate=0.02),
+            (80,),
+            {"flush"},
+        ),
+        (
+            AGGRESSIVE,
+            SELF_TEST_PROGRAM.ref_args,
+            {"drop_alloc", "clamp_entries", "narrow_partial_bits"},
+        ),
+    ],
+)
+def test_every_injected_fault_is_visible_in_stats_and_trace(
+    plan, args, expect_kinds
+):
+    out = _compile_canonical()
+    result, injector, sink = _simulate(out, args, plan)
+    counts = injector.stats.counts
+    for kind in expect_kinds:
+        assert counts.get(kind, 0) > 0, (kind, counts)
+    alat = result.alat_stats
+    assert alat.chaos_dropped_allocations == counts.get("drop_alloc", 0)
+    assert alat.chaos_spurious_invalidations == counts.get(
+        "spurious_invalidate", 0
+    )
+    assert alat.chaos_flushes == counts.get("flush", 0)
+    traced = sink.of_type("chaos.fault")
+    assert len(traced) == injector.stats.total
+    assert {e["kind"] for e in traced} == {k for k in counts}
+
+
+def test_injector_clamps_geometry():
+    out = _compile_canonical()
+    sim = Simulator(
+        out.program, out.options.machine, injector=FaultInjector(AGGRESSIVE)
+    )
+    assert sim.alat.config.entries == 2
+    assert sim.alat.config.partial_bits == 4
+    # the machine config object itself must not be mutated
+    assert out.options.machine.alat.entries != 2 or \
+        out.options.machine.alat is not sim.alat.config
+
+
+def test_chaos_stats_zero_without_injector():
+    out = _compile_canonical()
+    result = out.run(list(SELF_TEST_PROGRAM.ref_args))
+    alat = result.alat_stats
+    assert alat.chaos_dropped_allocations == 0
+    assert alat.chaos_spurious_invalidations == 0
+    assert alat.chaos_flushes == 0
+
+
+# ---------------------------------------------------------------------------
+# generator
+# ---------------------------------------------------------------------------
+
+
+def test_generator_is_deterministic():
+    a = generate_program(1234, index=5)
+    b = generate_program(1234, index=5)
+    assert a == b
+    c = generate_program(1235, index=5)
+    assert c.source != a.source or c.ref_args != a.ref_args
+
+
+def test_generated_programs_parse_and_run():
+    for seed in range(30):
+        program = generate_program(seed)
+        result = run_program(
+            program.source, list(program.ref_args), max_steps=2_000_000
+        )
+        assert isinstance(result.exit_value, int)
+
+
+# ---------------------------------------------------------------------------
+# reducer
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_lines_is_minimal():
+    lines = [f"line{i}" for i in range(30)]
+
+    def interesting(cand):
+        return "line7" in cand and "line23" in cand
+
+    result = reduce_lines(lines, interesting)
+    assert sorted(result) == ["line23", "line7"]
+
+
+def test_reduce_lines_rejects_uninteresting_input():
+    with pytest.raises(ReductionError):
+        reduce_lines(["a", "b"], lambda cand: False)
+
+
+def test_reduce_source_drops_blank_lines_and_predicate_exceptions():
+    source = "a\n\nb\n\nneedle\n"
+
+    def interesting(src):
+        if "b" in src and "needle" not in src:
+            raise ValueError("predicate crash counts as uninteresting")
+        return "needle" in src
+
+    assert reduce_source(source, interesting) == "needle\n"
+
+
+# ---------------------------------------------------------------------------
+# campaign
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_smoke_no_divergences(tmp_path):
+    report = run_campaign(
+        seed=11, runs=4, failures_dir=str(tmp_path / "failures")
+    )
+    assert report.ok, report.summary()
+    assert report.programs == 4
+    # 3 modes x (1 no-fault + 3 plans) per program, minus skips
+    assert report.runs + report.skipped * 12 == 4 * 12
+    assert sum(report.faults_injected.values()) > 0
+    assert "no divergences" in report.summary()
+
+
+def test_campaign_report_round_trips_as_json():
+    report = run_campaign(seed=2, runs=2, failures_dir=None)
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["ok"] is True
+    assert payload["programs"] == 2
+
+
+def test_self_test_catches_and_minimises_planted_bug(tmp_path):
+    report = run_self_test(
+        seed=0, runs=1, failures_dir=str(tmp_path / "failures")
+    )
+    assert not report.ok
+    divergences = [f for f in report.failures if f.kind == "divergence"]
+    assert divergences
+    reduced = [f for f in divergences if f.reduced_source]
+    assert reduced
+    smallest = min(len(f.reduced_source.splitlines()) for f in reduced)
+    assert smallest <= 15
+    # reduced reproducer is itself a valid, divergent program: it still
+    # parses and the artifacts landed on disk
+    artifacts = [p for f in report.failures for p in f.artifacts]
+    assert any(p.endswith(".min.minic") for p in artifacts)
+
+
+def test_self_test_restores_the_rewrite_flag():
+    from repro.pre import ssapre
+
+    run_self_test(seed=0, runs=1, failures_dir=None)
+    assert ssapre.CHAOS_DISABLE_CHECK_REWRITE is False
+
+
+# ---------------------------------------------------------------------------
+# graceful pipeline degradation
+# ---------------------------------------------------------------------------
+
+CANONICAL = SELF_TEST_PROGRAM.source
+
+
+def _boom(*args, **kwargs):
+    raise RuntimeError("synthetic internal compiler error")
+
+
+def test_fallback_recovers_and_reports(monkeypatch):
+    import repro.pipeline.driver as driver
+
+    monkeypatch.setattr(driver, "run_load_pre", _boom)
+    sink = MemorySink()
+    out = compile_source(
+        CANONICAL,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[10],
+        obs=TraceContext(sink),
+    )
+    assert out.fallback
+    assert out.options.opt_level == OptLevel.O1
+    events = sink.of_type("pipeline.fallback")
+    assert len(events) == 2  # -O3/profile failed, then -O3/none failed
+    assert "RuntimeError" in events[0]["error"]
+    assert [d for d in out.diagnostics if d.rule == "FALLBACK"]
+    # and the degraded program is still correct
+    reference = run_program(CANONICAL, [150])
+    result = out.run([150])
+    assert result.output == reference.output
+    assert result.exit_value == reference.exit_value
+
+
+def test_fallback_disabled_propagates_internal_error(monkeypatch):
+    import repro.pipeline.driver as driver
+
+    monkeypatch.setattr(driver, "run_load_pre", _boom)
+    with pytest.raises(RuntimeError, match="synthetic"):
+        compile_source(
+            CANONICAL,
+            CompilerOptions(
+                opt_level=OptLevel.O3,
+                spec_mode=SpecMode.PROFILE,
+                fallback=False,
+            ),
+            train_args=[10],
+        )
+
+
+def test_fallback_never_masks_source_errors():
+    with pytest.raises(ParseError):
+        compile_source("int main( {", CompilerOptions(fallback=True))
+
+
+def test_no_fallback_on_clean_compilations():
+    out = compile_source(
+        CANONICAL,
+        CompilerOptions(opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE),
+        train_args=[10],
+    )
+    assert not out.fallback
+    assert not [d for d in out.diagnostics if d.rule == "FALLBACK"]
+
+
+# ---------------------------------------------------------------------------
+# interpreter fuel
+# ---------------------------------------------------------------------------
+
+SPIN = """
+int main(int n) {
+    int i = 0;
+    while (i < 10000000) { i = i + 1; }
+    return i;
+}
+"""
+
+
+def test_interp_fuel_budget_raises_timeout():
+    with pytest.raises(InterpTimeout):
+        run_program(SPIN, [0], max_steps=5_000)
+
+
+def test_interp_timeout_is_backwards_compatible():
+    assert issubclass(InterpLimitExceeded, InterpTimeout)
+    with pytest.raises(InterpLimitExceeded):
+        run_program(SPIN, [0], max_steps=5_000)
+
+
+# ---------------------------------------------------------------------------
+# tolerant workload matrix
+# ---------------------------------------------------------------------------
+
+
+def test_workload_matrix_survives_one_failure(monkeypatch):
+    import repro.workloads.runner as runner
+    from repro.workloads import (
+        BENCHMARKS,
+        WorkloadFailure,
+        WorkloadMatrixError,
+        run_all_benchmarks,
+    )
+
+    real = runner.run_benchmark
+    victim = list(BENCHMARKS)[1]
+
+    def flaky(name, *args, **kwargs):
+        if name == victim:
+            raise RuntimeError("synthetic workload failure")
+        return real(name, *args, **kwargs)
+
+    monkeypatch.setattr(runner, "run_benchmark", flaky)
+
+    failures: list[WorkloadFailure] = []
+    results = run_all_benchmarks(failures=failures)
+    assert victim not in results
+    assert len(results) == len(BENCHMARKS) - 1
+    assert [f.name for f in failures] == [victim]
+    assert failures[0].exc_type == "RuntimeError"
+
+    # without a collector the sweep still finishes, then raises
+    with pytest.raises(WorkloadMatrixError) as exc_info:
+        run_all_benchmarks()
+    assert len(exc_info.value.results) == len(BENCHMARKS) - 1
+    assert victim in str(exc_info.value)
+
+
+# ---------------------------------------------------------------------------
+# chaos CLI
+# ---------------------------------------------------------------------------
+
+
+def test_chaos_cli_clean_run(tmp_path, capsys):
+    from repro.chaos.__main__ import main
+
+    code = main([
+        "--seed", "5", "--runs", "3", "--quiet",
+        "--failures-dir", str(tmp_path / "failures"), "--json",
+    ])
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert code == 0
+    assert payload["ok"] is True
+    assert payload["programs"] == 3
+
+
+def test_chaos_cli_rejects_bad_runs(tmp_path):
+    from repro.chaos.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--runs", "0"])

@@ -76,3 +76,18 @@ def test_exit_code_propagates(demo_file, capsys):
 def test_parser_rejects_bad_opt(demo_file):
     with pytest.raises(SystemExit):
         build_parser().parse_args([demo_file, "--opt", "9"])
+
+
+def test_missing_file_is_one_line_error_exit_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope.mc")
+    code, out, err = run_cli(capsys, [missing, "--args", "5"])
+    assert code == 2
+    assert out == ""
+    assert len(err.strip().splitlines()) == 1
+    assert "nope.mc" in err
+
+
+def test_unreadable_directory_is_one_line_error_exit_2(tmp_path, capsys):
+    code, _out, err = run_cli(capsys, [str(tmp_path), "--args", "5"])
+    assert code == 2
+    assert len(err.strip().splitlines()) == 1

@@ -376,3 +376,59 @@ def test_random_pointer_chains_agree_with_cascade(source, ref_arg, train_arg):
         mres = out.run([ref_arg])
         assert mres.output == ref.output, f"machine diverged (rounds={rounds})"
         assert mres.exit_value == ref.exit_value
+
+
+# ---------------------------------------------------------------------------
+# chaos-generator programs as hypothesis inputs
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 2**32), st.integers(0, 120), st.integers(0, 120))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_chaos_generated_programs_agree_across_all_modes(seed, ref_arg, train_arg):
+    """The seeded chaos generator feeds the same flagship property the
+    hypothesis grammars do — one generator, two harnesses."""
+    from repro.chaos import generate_program
+
+    program = generate_program(seed)
+    assert_all_modes_agree(
+        program.source, [ref_arg], train_args=[train_arg]
+    )
+
+
+@given(st.integers(0, 2**32), st.integers(0, 120), st.integers(0, 120))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_recovery_counters_consistent(seed, ref_arg, train_arg):
+    """Accounting invariant: every retired ld.c/chk.a probes the ALAT
+    exactly once, so simulator check counters and ALAT stats must agree
+    — including under fault injection, where extra misses come from
+    injected entry loss but never from double counting."""
+    from repro.chaos import FaultInjector, FaultPlan, generate_program
+    from repro.machine.cpu import Simulator
+    from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+
+    program = generate_program(seed)
+    out = compile_source(
+        program.source,
+        CompilerOptions(
+            opt_level=OptLevel.O3, spec_mode=SpecMode.PROFILE, fallback=False
+        ),
+        train_args=[train_arg],
+    )
+    for plan in (None, FaultPlan(name="stress", seed=seed,
+                                 spurious_invalidate_rate=0.4,
+                                 drop_alloc_rate=0.2, flush_rate=0.01)):
+        injector = FaultInjector(plan) if plan is not None else None
+        sim = Simulator(out.program, out.options.machine, injector=injector)
+        result = sim.run([ref_arg])
+        alat, counters = result.alat_stats, result.counters
+        assert alat.check_hits + alat.check_misses == counters.check_instructions
+        assert counters.check_failures == alat.check_misses
