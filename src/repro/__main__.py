@@ -35,6 +35,7 @@ from repro.obs import (
 from repro.pipeline import (
     CompilerOptions,
     OptLevel,
+    PromotionGate,
     SpecLintMode,
     SpecMode,
     compile_source,
@@ -87,6 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="speculation-safety analyzer: strict fails compilation on "
         "any error, warn prints findings to stderr, off disables it "
         "(default strict)",
+    )
+    parser.add_argument(
+        "--promotion-gate",
+        choices=[g.value for g in PromotionGate],
+        default="warn",
+        help="static ALAT pressure gate: on demotes predicted-"
+        "unprofitable speculative candidates, warn only reports them, "
+        "off skips the analysis (default warn)",
+    )
+    parser.add_argument(
+        "--dump-pressure-dot",
+        metavar="FILE",
+        default=None,
+        help="write the pressure model's candidate conflict graph as "
+        "Graphviz (- for stdout)",
     )
     parser.add_argument("--dump-ir", action="store_true", help="print optimised IR")
     parser.add_argument("--dump-asm", action="store_true", help="print machine code")
@@ -159,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         spec_mode=SpecMode(args.spec),
         rounds=args.rounds,
         speclint=SpecLintMode(args.speclint),
+        promotion_gate=PromotionGate(args.promotion_gate),
     )
     train = args.train_args if args.train_args is not None else args.args
 
@@ -170,6 +187,35 @@ def main(argv: list[str] | None = None) -> int:
         for diag in output.diagnostics:
             print(diag.format(), file=sys.stderr)
 
+        if args.dump_pressure_dot:
+            from repro.ir.dot import pressure_to_dot
+
+            pressure = output.pressure
+            if pressure is None:
+                # The pressure phase did not run (gate off, or a
+                # non-speculative mode); the analysis is pure, so run
+                # it on demand for the dump.
+                from repro.analysis.alatpressure import (
+                    analyze_module_pressure,
+                )
+                from repro.speclint import facts_from_pre_stats
+
+                facts = facts_from_pre_stats(
+                    output.pre_stats, output.alias_manager
+                )
+                pressure = analyze_module_pressure(
+                    output.module,
+                    options.machine.alat,
+                    am=output.alias_manager,
+                    profile=output.profile,
+                    targets_by_temp=facts.targets_by_temp,
+                )
+            dot = pressure_to_dot(pressure)
+            if args.dump_pressure_dot == "-":
+                print(dot)
+            else:
+                with open(args.dump_pressure_dot, "w") as f:
+                    f.write(dot + "\n")
         if args.dump_ir:
             print(format_module(output.module))
             print()

@@ -1,16 +1,45 @@
 """Classic compiler analyses: dominators, dominance frontiers, natural
-loops, liveness, and the call graph."""
+loops, liveness, the call graph, the generic dataflow solver, and the
+static ALAT pressure / promotion-profitability model built on it."""
 
 from repro.analysis.dominators import DominatorTree, compute_dominators
 from repro.analysis.domfrontier import compute_dominance_frontiers
+from repro.analysis.dataflow import (
+    DataflowDivergence,
+    DataflowResult,
+    gen_kill_transfer,
+    solve,
+)
 from repro.analysis.loops import Loop, LoopForest, find_natural_loops
 from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.callgraph import CallGraph, build_call_graph
+
+_PRESSURE_EXPORTS = (
+    "CandidateReport",
+    "FunctionPressure",
+    "ModulePressure",
+    "analyze_module_pressure",
+)
+
+
+def __getattr__(name: str):
+    # Lazy: repro.analysis.alatpressure doubles as a runnable module
+    # (``python -m repro.analysis.alatpressure``); importing it eagerly
+    # here would load it twice under runpy.
+    if name in _PRESSURE_EXPORTS:
+        from repro.analysis import alatpressure
+
+        return getattr(alatpressure, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DominatorTree",
     "compute_dominators",
     "compute_dominance_frontiers",
+    "DataflowDivergence",
+    "DataflowResult",
+    "gen_kill_transfer",
+    "solve",
     "Loop",
     "LoopForest",
     "find_natural_loops",
@@ -18,4 +47,8 @@ __all__ = [
     "compute_liveness",
     "CallGraph",
     "build_call_graph",
+    "CandidateReport",
+    "FunctionPressure",
+    "ModulePressure",
+    "analyze_module_pressure",
 ]

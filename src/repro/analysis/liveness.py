@@ -3,10 +3,17 @@
 Used by codegen to size register frames (which feeds the RSE model) and
 by tests as an independent oracle on promoted temporaries (a temporary
 introduced by PRE must be live from its def to every check/use).
+
+An instance of the generic :mod:`repro.analysis.dataflow` solver:
+backward direction, union meet, classic ``use ∪ (out − def)`` transfer.
+Unreachable blocks contribute nothing — their uses are phantoms that
+would otherwise leak into predecessors' live-out sets — and the
+accessors report them as having empty live sets.
 """
 
 from __future__ import annotations
 
+from repro.analysis import dataflow
 from repro.ir.cfg import BasicBlock
 from repro.ir.function import Function
 from repro.ir.stmt import stmt_defines
@@ -72,30 +79,21 @@ def _block_use_def(block: BasicBlock) -> tuple[set[int], set[int]]:
 
 
 def compute_liveness(fn: Function) -> LivenessInfo:
-    """Iterative backward dataflow to a fixed point."""
+    """Backward may-analysis on the generic worklist solver.
+
+    Only blocks reachable from the entry participate: use/def sets are
+    not even computed for dead blocks, so a ``VarRead`` sitting in
+    unreachable code cannot manufacture a live range."""
     use_sets: dict[int, frozenset[int]] = {}
     def_sets: dict[int, frozenset[int]] = {}
-    for block in fn.blocks:
+    for block in fn.reachable_blocks():
         uses, defs = _block_use_def(block)
         use_sets[block.bid] = frozenset(uses)
         def_sets[block.bid] = frozenset(defs)
 
-    live_in: dict[int, frozenset[int]] = {b.bid: frozenset() for b in fn.blocks}
-    live_out: dict[int, frozenset[int]] = {b.bid: frozenset() for b in fn.blocks}
-
-    # Process in postorder (reverse of RPO) for fast convergence.
-    order = list(reversed(fn.reachable_blocks()))
-    changed = True
-    while changed:
-        changed = False
-        for block in order:
-            out: set[int] = set()
-            for succ in block.successors():
-                out |= live_in[succ.bid]
-            new_out = frozenset(out)
-            new_in = use_sets[block.bid] | (new_out - def_sets[block.bid])
-            if new_out != live_out[block.bid] or new_in != live_in[block.bid]:
-                live_out[block.bid] = new_out
-                live_in[block.bid] = frozenset(new_in)
-                changed = True
-    return LivenessInfo(live_in, live_out, use_sets, def_sets)
+    result = dataflow.solve(
+        fn,
+        dataflow.BACKWARD,
+        dataflow.gen_kill_transfer(use_sets, def_sets),
+    )
+    return LivenessInfo(result.in_facts, result.out_facts, use_sets, def_sets)

@@ -73,12 +73,13 @@ def find_natural_loops(fn: Function, domtree: DominatorTree) -> LoopForest:
     header dominates the latch), the loop body is every block that can
     reach the latch without passing through the header."""
     loops_by_header: dict[int, Loop] = {}
+    reachable = {b.bid for b in fn.reachable_blocks()}
     for block in fn.reachable_blocks():
         for succ in block.successors():
             if domtree.dominates(succ, block):
                 loop = loops_by_header.setdefault(succ.bid, Loop(succ))
                 loop.back_edges.append(block)
-                _collect_body(loop, block)
+                _collect_body(loop, block, reachable)
     loops = list(loops_by_header.values())
     for loop in loops:
         loop.blocks.add(loop.header.bid)
@@ -86,11 +87,19 @@ def find_natural_loops(fn: Function, domtree: DominatorTree) -> LoopForest:
     return LoopForest(loops)
 
 
-def _collect_body(loop: Loop, latch: BasicBlock) -> None:
+def _collect_body(loop: Loop, latch: BasicBlock, reachable: set[int]) -> None:
+    # The walk follows predecessor edges, which dead blocks may also
+    # point along; restricting to ``reachable`` keeps unreachable code
+    # from being reported as loop body (phantom blocks inflate every
+    # loop-weighted cost model downstream).
     stack = [latch]
     while stack:
         block = stack.pop()
-        if block.bid in loop.blocks or block is loop.header:
+        if (
+            block.bid not in reachable
+            or block.bid in loop.blocks
+            or block is loop.header
+        ):
             continue
         loop.blocks.add(block.bid)
         stack.extend(block.preds)

@@ -3,6 +3,8 @@
 ``cfg_to_dot(fn)`` renders one function's CFG with statements in the
 node labels; speculation-flagged statements are highlighted so the
 effect of the promotion passes is visible at a glance.
+``pressure_to_dot(pressure)`` renders the static ALAT pressure model's
+candidate conflict graph (``--dump-pressure-dot``).
 """
 
 from __future__ import annotations
@@ -50,6 +52,54 @@ def cfg_to_dot(fn: Function, include_stmts: bool = True) -> str:
     for block in fn.blocks:
         for succ in block.successors():
             lines.append(f"  bb{block.bid} -> bb{succ.bid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pressure_to_dot(pressure) -> str:
+    """Render a :class:`~repro.analysis.alatpressure.ModulePressure`
+    as a candidate conflict graph: one node per promoted temporary
+    (labelled with its register/set mapping and predicted profit,
+    filled red when the demotion plan would demote it), one undirected
+    edge per pair predicted to fight over an ALAT set, and one dashed
+    edge per cascade address dependency."""
+    plan = pressure.demotion_plan()
+    lines = [
+        "graph pressure {",
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+        f'  label="predicted peak {pressure.predicted_peak} / '
+        f'{pressure.alat.entries} entries";',
+    ]
+    for i, (name, fp) in enumerate(pressure.functions.items()):
+        if not fp.candidates:
+            continue
+        demoted = plan.get(name, {})
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{_escape(name)}";')
+        for rep in fp.candidates.values():
+            label = _escape(
+                f"{rep.name}\nreg={rep.register} set={rep.set_index}\n"
+                f"profit={rep.profit:.1f}"
+            )
+            style = (
+                ', style=filled, fillcolor="#f8d7da"'
+                if rep.temp_id in demoted
+                else ""
+            )
+            lines.append(
+                f'    "{name}.{rep.temp_id}" [label="{label}"{style}];'
+            )
+        for a, b in sorted(fp.conflict_edges()):
+            lines.append(
+                f'    "{name}.{a}" -- "{name}.{b}" [color=red];'
+            )
+        for rep in fp.candidates.values():
+            for dep in sorted(rep.dependents):
+                lines.append(
+                    f'    "{name}.{rep.temp_id}" -- "{name}.{dep}" '
+                    f"[style=dashed];"
+                )
+        lines.append("  }")
     lines.append("}")
     return "\n".join(lines)
 

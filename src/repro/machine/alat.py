@@ -28,6 +28,23 @@ from repro.errors import ConfigError
 RegTag = tuple[int, int]
 
 
+def set_index_for_register(register: int, config: "ALATConfig") -> int:
+    """The ALAT set a register's entry lands in.
+
+    The table is indexed purely by target register number (the
+    activation serial picks the *entry* within a set, never the set), so
+    this mapping is static per compiled function — the property the
+    compile-time pressure model in :mod:`repro.analysis.alatpressure`
+    relies on to predict way conflicts without running anything.
+    """
+    return register % config.sets
+
+
+def partial_address(addr: int, config: "ALATConfig") -> int:
+    """The partial (truncated) word address an entry stores."""
+    return addr & ((1 << config.partial_bits) - 1)
+
+
 @dataclass
 class ALATConfig:
     """Geometry of the table (Itanium: 32 entries, 2-way)."""
@@ -69,6 +86,9 @@ class ALATStats:
     explicit_drops: int = 0
     check_hits: int = 0
     check_misses: int = 0
+    #: high-water mark of simultaneously valid entries; the dynamic
+    #: ground truth the static occupancy model is calibrated against
+    peak_occupancy: int = 0
     #: chaos-injected faults (zero outside fault-injection runs); every
     #: injected fault is visible here *and* as a ``chaos.fault`` trace
     #: event — the accounting invariant ``repro.chaos`` enforces.
@@ -113,10 +133,10 @@ class ALAT:
     # -- helpers ----------------------------------------------------------
 
     def _partial(self, addr: int) -> int:
-        return addr & ((1 << self.config.partial_bits) - 1)
+        return partial_address(addr, self.config)
 
     def _set_index(self, tag: RegTag) -> int:
-        return tag[1] % self.config.sets
+        return set_index_for_register(tag[1], self.config)
 
     def _find(self, tag: RegTag) -> Optional[_Entry]:
         for entry in self._sets[self._set_index(tag)]:
@@ -152,6 +172,7 @@ class ALAT:
             if self.observer is not None:
                 self.observer("alat.evict", tag=victim.tag)
         bucket.append(_Entry(tag, self._partial(addr), self._clock))
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, self.occupancy)
         if self.observer is not None:
             self.observer("alat.allocate", tag=tag, addr=addr, refresh=False)
 

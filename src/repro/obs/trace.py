@@ -18,6 +18,11 @@ Event schema (documented in DESIGN.md §"Trace schema"):
                           final IR (``function``, ``sid``, ``flag``,
                           ``target``, ``recovery_stmts``)
 ``pre.function``          per-function promotion stats
+``pressure.decision``     one per promoted candidate the static ALAT
+                          pressure model scored (``function``, ``temp``,
+                          ``register``, ``set_index``, ``checks``,
+                          ``p_alias``, ``p_conflict``, ``profit``,
+                          ``verdict`` keep/flag/demote)
 ``speclint.diag``         one per speculation-safety finding (``rule``,
                           ``severity``, ``function``, ``loc``,
                           ``message``)

@@ -4,6 +4,7 @@ code, with the paper's compilation modes as options."""
 from repro.pipeline.options import (
     CompilerOptions,
     OptLevel,
+    PromotionGate,
     SpecLintMode,
     SpecMode,
 )
@@ -17,6 +18,7 @@ from repro.pipeline.driver import (
 __all__ = [
     "CompilerOptions",
     "OptLevel",
+    "PromotionGate",
     "SpecLintMode",
     "SpecMode",
     "CompileOutput",

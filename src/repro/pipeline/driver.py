@@ -36,6 +36,7 @@ from repro.obs.trace import TraceContext
 from repro.pipeline.options import (
     CompilerOptions,
     OptLevel,
+    PromotionGate,
     SpecLintMode,
     SpecMode,
 )
@@ -100,6 +101,82 @@ def _emit_lowered_events(obs: TraceContext, module: Module) -> int:
     return n
 
 
+def _run_pressure_gate(
+    output: "CompileOutput",
+    opts: CompilerOptions,
+    obs: TraceContext,
+    info: dict,
+) -> None:
+    """The ``pressure`` phase: static ALAT pressure/profit analysis and
+    (under ``PromotionGate.ON``) demotion of unprofitable candidates.
+
+    Runs after PRE + completer selection so every surviving annotation
+    is final, and before cleanup so demoted reloads get tidied like any
+    other code.  Register numbers (and so predicted set indices) are the
+    same deterministic assignment codegen will use."""
+    from repro.analysis.alatpressure import analyze_module_pressure
+    from repro.speclint import facts_from_pre_stats
+    from repro.speclint.diagnostics import Diagnostic, Severity
+
+    facts = facts_from_pre_stats(output.pre_stats, output.alias_manager)
+    pressure = analyze_module_pressure(
+        output.module,
+        opts.machine.alat,
+        am=output.alias_manager,
+        profile=output.profile,
+        targets_by_temp=facts.targets_by_temp,
+    )
+    output.pressure = pressure
+    plan = pressure.demotion_plan()
+    for fn_name, fp in pressure.functions.items():
+        demoted = plan.get(fn_name, {})
+        for rep in fp.candidates.values():
+            obs.event(
+                "pressure.decision",
+                function=fn_name,
+                temp=rep.name,
+                register=rep.register,
+                set_index=rep.set_index,
+                checks=rep.n_checks,
+                p_alias=round(rep.p_alias, 4),
+                p_conflict=round(rep.p_conflict, 4),
+                profit=round(rep.profit, 2),
+                verdict=(
+                    "keep"
+                    if rep.temp_id not in demoted
+                    else "demote"
+                    if opts.promotion_gate is PromotionGate.ON
+                    else "flag"
+                ),
+            )
+    info["candidates"] = sum(1 for _ in pressure.all_candidates())
+    info["predicted_peak"] = pressure.predicted_peak
+
+    if opts.promotion_gate is PromotionGate.ON:
+        from repro.pre.gate import apply_promotion_gate
+
+        stats = apply_promotion_gate(output.module, plan)
+        info["demoted"] = stats.total_demoted
+    else:
+        for fn_name, reasons in plan.items():
+            fp = pressure.functions[fn_name]
+            for temp_id, reason in sorted(reasons.items()):
+                rep = fp.candidates[temp_id]
+                output.diagnostics.append(
+                    Diagnostic(
+                        rule="PRESSURE",
+                        severity=Severity.WARN,
+                        message=(
+                            f"speculative promotion of {rep.name} is "
+                            f"predicted unprofitable ({reason}); "
+                            f"--promotion-gate on would demote it"
+                        ),
+                        function=fn_name,
+                    )
+                )
+        info["flagged"] = sum(len(r) for r in plan.values())
+
+
 @dataclass
 class CompileOutput:
     """Everything one compilation produced."""
@@ -118,6 +195,9 @@ class CompileOutput:
     #: ``options`` then reflects the configuration that actually built
     #: the program, not the one requested.
     fallback: bool = False
+    #: static ALAT pressure analysis from the ``pressure`` phase (None
+    #: when the gate is off or the compilation does not speculate)
+    pressure: Optional[object] = None
     #: the trace context the compilation ran under (a fresh disabled one
     #: when the caller passed none) — ``run()`` keeps using it.
     obs: TraceContext = field(default_factory=TraceContext)
@@ -351,6 +431,14 @@ def _compile_module(
                 select_module_completers(module)
             if obs.enabled:
                 info["lowered"] = _emit_lowered_events(obs, module)
+
+        if (
+            pre_opts.speculative
+            and not pre_opts.softcheck
+            and opts.promotion_gate is not PromotionGate.OFF
+        ):
+            with obs.phase("pressure") as info:
+                _run_pressure_gate(output, opts, obs, info)
 
     if opts.opt_level >= OptLevel.O1 and opts.cleanup:
         from repro.opt import cleanup_module

@@ -44,6 +44,20 @@ class SpecLintMode(enum.Enum):
     OFF = "off"
 
 
+class PromotionGate(enum.Enum):
+    """How the static ALAT pressure analysis gates speculative promotion
+    (:mod:`repro.analysis.alatpressure`)."""
+
+    #: the pressure phase does not run
+    OFF = "off"
+    #: negative-profit candidates produce ``PRESSURE`` warnings on
+    #: ``CompileOutput.diagnostics`` but stay promoted (the default)
+    WARN = "warn"
+    #: negative-profit candidates (plus their cascade dependents) are
+    #: demoted back to conservative loads before codegen
+    ON = "on"
+
+
 class SpecMode(enum.Enum):
     #: no alias speculation (classical promotion only)
     NONE = "none"
@@ -72,6 +86,9 @@ class CompilerOptions:
     cleanup: bool = True
     #: speculation-safety analyzer (repro.speclint) after codegen
     speclint: SpecLintMode = SpecLintMode.STRICT
+    #: static ALAT pressure gate on speculative promotion (off|warn|on);
+    #: only consulted when the compilation speculates through the ALAT
+    promotion_gate: PromotionGate = PromotionGate.WARN
     #: graceful degradation: on an internal error in an optimisation
     #: phase, retry the compilation conservatively (spec off, then lower
     #: opt levels) instead of failing the run.  Differential harnesses

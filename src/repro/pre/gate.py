@@ -1,0 +1,104 @@
+"""Promotion-gate demotion: rewrite unprofitable candidates back to
+conservative loads.
+
+The static pressure model (:mod:`repro.analysis.alatpressure`) predicts
+which promoted temporaries cost more in check misses and evictions than
+their promotion saves.  This pass undoes just their *speculation*, not
+their promotion: the temp keeps its register and its reload sites, but
+every ALAT annotation is stripped —
+
+* ``ld.a``/``ld.sa`` arming becomes a plain load (the expression already
+  is the load; only the flag made it allocate an entry);
+* ``ld.c``/``ld.c.nc``/``chk.a``/``chk.a.nc`` checks become
+  unconditional reloads (flag cleared, recovery dropped — the reload
+  expression re-executes the access, which is exactly what the recovery
+  path did);
+* ``invala.e`` of a demoted temp is deleted (there is no entry left to
+  invalidate);
+* spec-flagged assigns of a demoted temp *inside another candidate's
+  recovery code* also lose their flags, so a surviving ``chk.a`` cannot
+  re-arm an entry nobody checks anymore.
+
+The caller's demotion plan must already be closed over cascade
+dependents (``ModulePressure.demotion_plan`` is): a value temp whose
+reload address reads a demoted address temp must be demoted too,
+otherwise its check could pass against a stale address.  This pass
+trusts the plan and applies it mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.stmt import Assign, InvalidateCheck, SpecFlag
+
+
+@dataclass
+class GateStats:
+    """What demotion rewrote, per function."""
+
+    demoted_temps: dict[str, int] = field(default_factory=dict)
+    flags_cleared: int = 0
+    recoveries_dropped: int = 0
+    invalidates_removed: int = 0
+
+    @property
+    def total_demoted(self) -> int:
+        return sum(self.demoted_temps.values())
+
+
+def demote_function_candidates(
+    fn: Function, temp_ids: set[int], stats: GateStats
+) -> None:
+    """Strip the ALAT protocol from ``temp_ids`` within ``fn``."""
+
+    def strip(stmt: Assign) -> None:
+        if stmt.spec_flag is SpecFlag.NONE:
+            return
+        stmt.spec_flag = SpecFlag.NONE
+        stats.flags_cleared += 1
+        if stmt.recovery is not None:
+            stmt.recovery = None
+            stats.recoveries_dropped += 1
+
+    for block in fn.blocks:
+        kept = []
+        for stmt in block.stmts:
+            if (
+                isinstance(stmt, InvalidateCheck)
+                and stmt.temp.id in temp_ids
+            ):
+                stats.invalidates_removed += 1
+                continue
+            if isinstance(stmt, Assign):
+                if stmt.target.id in temp_ids:
+                    strip(stmt)
+                elif stmt.recovery:
+                    # a kept candidate's recovery may rearm a demoted
+                    # temp (cascade value reloads) — neutralise those
+                    for r in stmt.recovery:
+                        if (
+                            isinstance(r, Assign)
+                            and r.target.id in temp_ids
+                            and r.spec_flag is not SpecFlag.NONE
+                        ):
+                            r.spec_flag = SpecFlag.NONE
+                            stats.flags_cleared += 1
+            kept.append(stmt)
+        block.stmts[:] = kept
+
+
+def apply_promotion_gate(
+    module: Module, plan: dict[str, dict[int, str]]
+) -> GateStats:
+    """Apply a demotion plan (function name -> temp id -> reason)."""
+    stats = GateStats()
+    for fn in module.iter_functions():
+        reasons = plan.get(fn.name)
+        if not reasons:
+            continue
+        demote_function_candidates(fn, set(reasons), stats)
+        stats.demoted_temps[fn.name] = len(reasons)
+    return stats

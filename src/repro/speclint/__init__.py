@@ -102,7 +102,9 @@ def run_speclint(
     from repro.pipeline.options import SpecLintMode
 
     report = lint_output(output)
-    output.diagnostics = report.diagnostics
+    # Extend rather than replace: earlier phases (fallback retries, the
+    # pressure gate) already parked their diagnostics on the output.
+    output.diagnostics.extend(report.diagnostics)
     if obs is not None and obs.enabled:
         for diag in report.diagnostics:
             obs.event("speclint.diag", **diag.as_event())

@@ -645,34 +645,27 @@ class _FunctionLint:
 
     def rule_spec006(self) -> None:
         """Static ALAT-pressure: warn when a loop keeps more advanced
-        loads simultaneously live than the ALAT has entries."""
+        loads simultaneously live than the ALAT has entries.
+
+        Rebased on the occupancy model's armed facts
+        (:func:`repro.analysis.alatpressure.armed_by_stmt`): an entry
+        is held from its arming until a clearing check or ``invala.e``,
+        so the pressure inside a loop is the largest armed set at any
+        of its program points — which naturally covers entries armed
+        above the loop and entries nobody reads any more (a dead entry
+        still occupies a way every iteration)."""
+        from repro.analysis.alatpressure import armed_by_stmt
+
+        armed = armed_by_stmt(self.fn)
         for loop in self.loops:
-            live: set[int] = set()
-            for t in self.web_temps:
-                ops: list[Stmt] = (
-                    list(self.arming.get(t, []))
-                    + list(self.checks.get(t, []))
-                    + list(self.invalas.get(t, []))
-                )
-                if any(
-                    self.pos[o.sid][0].bid in loop.blocks for o in ops
-                ):
-                    live.add(t)
+            live: frozenset[int] = frozenset()
+            for block in self.fn.blocks:
+                if block.bid not in loop.blocks:
                     continue
-                # armed above the loop and read inside it: the entry
-                # stays allocated across every iteration
-                if any(
-                    self.domtree.dominates(
-                        self.pos[a.sid][0], loop.header
-                    )
-                    for a in self.arming.get(t, [])
-                ) and any(
-                    self._reads_temp(s, t)
-                    for b in self.fn.blocks
-                    if b.bid in loop.blocks
-                    for s in b.stmts
-                ):
-                    live.add(t)
+                for stmt in block.stmts:
+                    facts = armed.get(stmt.sid, frozenset())
+                    if len(facts) > len(live):
+                        live = facts
             if len(live) > self.alat_entries:
                 anchor = loop.header.stmts[0] if loop.header.stmts else None
                 self._report(

@@ -135,6 +135,33 @@ def _collect_frame_vars(fn: Function) -> set[int]:
     return frame
 
 
+def assign_registers(fn: Function) -> dict[int, int]:
+    """Deterministic variable-id → register-number assignment.
+
+    Params take registers 0..n-1 (calling convention), then every
+    register-resident local in declaration order; frame-resident
+    variables (aggregates / address-taken) get no register.  This is the
+    single source of truth shared by the lowering below and by the
+    static ALAT pressure model, which must predict the set index
+    (``register % sets``) each promoted temporary's entry maps to."""
+    frame_ids = _collect_frame_vars(fn)
+    var_reg: dict[int, int] = {}
+    reg = 0
+    for p in fn.params:
+        var_reg[p.id] = reg
+        reg += 1
+    for var in fn.locals:
+        if var.id in frame_ids:
+            continue
+        if var.type.is_aggregate:
+            # aggregate without a frame slot cannot happen (covered
+            # by _collect_frame_vars), but stay defensive
+            continue
+        var_reg[var.id] = reg
+        reg += 1
+    return var_reg
+
+
 class _FunctionCodegen:
     """Lowers one function.  One-pass, statement at a time."""
 
@@ -155,20 +182,8 @@ class _FunctionCodegen:
 
         # Register assignment: params first (calling convention), then
         # every register-resident variable; scratch space above that.
-        self.var_reg: dict[int, int] = {}
-        reg = 0
-        for p in fn.params:
-            self.var_reg[p.id] = reg
-            reg += 1
-        for var in fn.locals:
-            if var.id in self.frame_off:
-                continue
-            if var.type.is_aggregate:
-                # aggregate without a frame slot cannot happen (covered
-                # by _collect_frame_vars), but stay defensive
-                continue
-            self.var_reg[var.id] = reg
-            reg += 1
+        self.var_reg = assign_registers(fn)
+        reg = (max(self.var_reg.values()) + 1) if self.var_reg else 0
         self._scratch_base = reg
         self._scratch = reg
         self._label_counter = 0

@@ -1,0 +1,446 @@
+"""Static ALAT pressure & profitability analysis
+(`repro.analysis.dataflow` + `repro.analysis.alatpressure`).
+
+The load-bearing properties: the generic worklist solver reaches a
+fixpoint (and trips its divergence tripwire instead of hanging), the
+armed/needed live ranges span exactly from the leading advanced load to
+the last check, set conflicts are predicted from the same
+register-to-set mapping codegen uses, the promotion gate demotes
+unprofitable candidates without changing program output, and the whole
+model stays within the documented tolerance of the simulator's
+ALATStats.
+"""
+
+import pytest
+
+from repro.analysis import dataflow
+from repro.analysis.alatpressure import (
+    CandidateReport,
+    P_CONFLICT_VICTIM,
+    _FunctionAnalysis,
+    analyze_function_pressure,
+    analyze_module_pressure,
+    armed_by_stmt,
+)
+from repro.ir import INT, ModuleBuilder
+from repro.ir.stmt import Assign, SpecFlag
+from repro.machine.alat import ALATConfig, set_index_for_register
+from repro.pipeline import PromotionGate, compile_source
+from repro.target.isa import Ld, LoadKind
+from repro.workloads.programs import get_workload
+from repro.workloads.runner import SPECULATIVE
+
+
+# -- builders ----------------------------------------------------------
+
+
+def loop_cfg_fn():
+    """Plain counting loop (no speculation) for solver tests."""
+    mb = ModuleBuilder("m")
+    fb = mb.function("main", [("n", INT)], INT)
+    n = fb.fn.params[0]
+    i = fb.temp(INT, "i")
+    fb.assign(i, 0)
+    head = fb.block("head")
+    body = fb.block("body")
+    exit_ = fb.block("exit")
+    fb.jump(head)
+    fb.set_block(head)
+    fb.branch(fb.lt(i, n), body, exit_)
+    fb.set_block(body)
+    fb.assign(i, fb.add(i, 1))
+    fb.jump(head)
+    fb.set_block(exit_)
+    fb.ret(fb.read(i))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    return fb.fn
+
+
+def straightline_spec_fn():
+    """arm t1; arm t2; check t1 (clearing); check t2 (clearing)."""
+    mb = ModuleBuilder("m")
+    g = mb.global_var("g", INT, init=1)
+    h = mb.global_var("h", INT, init=2)
+    fb = mb.function("main", [], INT)
+    t1 = fb.temp(INT, "t1")
+    t2 = fb.temp(INT, "t2")
+    stmts = [
+        (fb.assign(t1, fb.load(fb.addr(g))), SpecFlag.LD_A),
+        (fb.assign(t2, fb.load(fb.addr(h))), SpecFlag.LD_A),
+        (fb.assign(t1, fb.load(fb.addr(g))), SpecFlag.LD_C),
+        (fb.assign(t2, fb.load(fb.addr(h))), SpecFlag.LD_C),
+    ]
+    for stmt, flag in stmts:
+        stmt.spec_flag = flag
+    fb.ret(fb.add(fb.read(t1), fb.read(t2)))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    return fb.fn, t1, t2, [s for s, _ in stmts]
+
+
+def loop_spec_fn():
+    """Entry arms t, the loop body checks it with the keep completer."""
+    mb = ModuleBuilder("m")
+    g = mb.global_var("g", INT, init=1)
+    fb = mb.function("main", [("n", INT)], INT)
+    n = fb.fn.params[0]
+    t = fb.temp(INT, "t")
+    i = fb.temp(INT, "i")
+    arm = fb.assign(t, fb.load(fb.addr(g)))
+    arm.spec_flag = SpecFlag.LD_A
+    fb.assign(i, 0)
+    head = fb.block("head")
+    body = fb.block("body")
+    exit_ = fb.block("exit")
+    fb.jump(head)
+    fb.set_block(head)
+    fb.branch(fb.lt(i, n), body, exit_)
+    fb.set_block(body)
+    chk = fb.assign(t, fb.load(fb.addr(g)))
+    chk.spec_flag = SpecFlag.LD_C_NC
+    fb.assign(i, fb.add(fb.read(i), fb.read(t)))
+    fb.jump(head)
+    fb.set_block(exit_)
+    fb.ret(fb.read(i))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    return fb.fn, t, head, body, chk
+
+
+def cascade_spec_fn():
+    """Address temp pa feeds the value temp pv's reload address."""
+    from repro.ir.types import PointerType
+
+    mb = ModuleBuilder("m")
+    p = mb.global_var("p", PointerType(INT), init=None)
+    fb = mb.function("main", [], INT)
+    pa = fb.temp(PointerType(INT), "pa")
+    pv = fb.temp(INT, "pv")
+    arm_a = fb.assign(pa, fb.load(fb.addr(p)))
+    arm_a.spec_flag = SpecFlag.LD_A
+    arm_v = fb.assign(pv, fb.load(fb.read(pa)))
+    arm_v.spec_flag = SpecFlag.LD_SA
+    chk_v = fb.assign(pv, fb.load(fb.read(pa)))
+    chk_v.spec_flag = SpecFlag.CHK_A_NC
+    fb.ret(fb.read(pv))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    return fb.fn, pa, pv
+
+
+# -- the generic solver ------------------------------------------------
+
+
+def test_solver_reaches_fixpoint_and_is_deterministic():
+    fn = loop_cfg_fn()
+    gen = {b.bid: frozenset({b.bid}) for b in fn.blocks}
+    kill = {}
+    first = dataflow.solve(
+        fn, dataflow.FORWARD, dataflow.gen_kill_transfer(gen, kill)
+    )
+    second = dataflow.solve(
+        fn, dataflow.FORWARD, dataflow.gen_kill_transfer(gen, kill)
+    )
+    assert first.in_facts == second.in_facts
+    assert first.out_facts == second.out_facts
+    # the fixpoint actually is one: re-applying the transfer at the met
+    # inputs reproduces every solved output
+    transfer = dataflow.gen_kill_transfer(gen, kill)
+    for block in fn.reachable_blocks():
+        assert transfer(block, first.entry(block)) == first.exit(block)
+
+
+def test_solver_forward_facts_accumulate_through_loop():
+    fn = loop_cfg_fn()
+    gen = {b.bid: frozenset({b.label}) for b in fn.blocks}
+    result = dataflow.solve(
+        fn, dataflow.FORWARD, dataflow.gen_kill_transfer(gen, {})
+    )
+    exit_block = next(b for b in fn.blocks if b.label.startswith("exit"))
+    # everything generated on some path to exit reaches it (union meet)
+    assert any(lbl.startswith("body") for lbl in result.entry(exit_block))
+
+
+def test_solver_intersect_meet_is_must_analysis():
+    fn = loop_cfg_fn()
+    gen = {fn.entry.bid: frozenset({"e"})}
+    body = next(b for b in fn.blocks if b.label.startswith("body"))
+    gen[body.bid] = frozenset({"b"})
+    result = dataflow.solve(
+        fn,
+        dataflow.FORWARD,
+        dataflow.gen_kill_transfer(gen, {}),
+        meet="intersect",
+    )
+    exit_block = next(b for b in fn.blocks if b.label.startswith("exit"))
+    # "e" flows down every path; "b" only through the loop body
+    assert "e" in result.entry(exit_block)
+    assert "b" not in result.entry(exit_block)
+
+
+def test_solver_divergence_tripwire():
+    fn = loop_cfg_fn()
+    tick = [0]
+
+    def nonmonotone(block, facts):
+        tick[0] += 1
+        return frozenset({tick[0]})
+
+    with pytest.raises(dataflow.DataflowDivergence):
+        dataflow.solve(fn, dataflow.FORWARD, nonmonotone, max_visits=16)
+
+
+def test_solver_rejects_bad_direction_and_meet():
+    fn = loop_cfg_fn()
+    transfer = dataflow.gen_kill_transfer({}, {})
+    with pytest.raises(ValueError):
+        dataflow.solve(fn, "sideways", transfer)
+    with pytest.raises(ValueError):
+        dataflow.solve(fn, dataflow.FORWARD, transfer, meet="xor")
+
+
+# -- live-range extents ------------------------------------------------
+
+
+def test_straightline_live_range_extents():
+    fn, t1, t2, stmts = straightline_spec_fn()
+    fa = _FunctionAnalysis(fn, ALATConfig())
+    fa._solve_ranges()
+    (block,) = fn.reachable_blocks()
+    live = {s.sid: lv for s, lv in zip(block.stmts, fa.live_after(block))}
+    arm1, arm2, chk1, chk2 = stmts
+    assert live[arm1.sid] == {t1.id}
+    assert live[arm2.sid] == {t1.id, t2.id}
+    # the clearing check ends t1's range; t2 survives one more stmt
+    assert live[chk1.sid] == {t2.id}
+    assert live[chk2.sid] == frozenset()
+
+
+def test_loop_live_range_spans_every_iteration():
+    fn, t, head, body, chk = loop_spec_fn()
+    fa = _FunctionAnalysis(fn, ALATConfig())
+    fa._solve_ranges()
+    # armed above the loop, kept by the .nc check: live throughout the
+    # loop (header and body), dead after the exit
+    assert t.id in fa._armed.entry(head)
+    assert t.id in fa._armed.entry(body)
+    assert t.id in fa._needed.entry(body)
+    armed = armed_by_stmt(fn)
+    assert t.id in armed[chk.sid]
+
+
+def test_dead_arming_is_armed_but_not_needed():
+    mb = ModuleBuilder("m")
+    g = mb.global_var("g", INT, init=1)
+    fb = mb.function("main", [], INT)
+    t = fb.temp(INT, "t")
+    arm = fb.assign(t, fb.load(fb.addr(g)))
+    arm.spec_flag = SpecFlag.LD_A
+    fb.ret(fb.read(t))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    fp = analyze_function_pressure(fb.fn)
+    rep = fp.candidates[t.id]
+    assert rep.n_checks == 0
+    assert rep.dead_arming_weight > 0
+    assert rep.unprofitable
+    # and the armed-forever entry shows up as exit residue
+    assert sum(fp.exit_residue.values()) == 1
+
+
+def test_cascade_dependents_follow_reload_addresses():
+    fn, pa, pv = cascade_spec_fn()
+    fp = analyze_function_pressure(fn)
+    assert pv.id in fp.candidates[pa.id].dependents
+    assert not fp.candidates[pv.id].dependents
+
+
+# -- conflict prediction ----------------------------------------------
+
+
+def test_conflicts_match_hand_computed_set_indices():
+    """Three simultaneously-armed temps on a 2-set direct-mapped ALAT:
+    registers 0 and 2 collide in set 0, register 1 has set 1 alone."""
+    alat = ALATConfig(entries=2, associativity=1)
+    mb = ModuleBuilder("m")
+    gs = [mb.global_var(f"g{i}", INT, init=i) for i in range(3)]
+    fb = mb.function("main", [], INT)
+    ts = [fb.temp(INT, f"t{i}") for i in range(3)]
+    for t, g in zip(ts, gs):
+        arm = fb.assign(t, fb.load(fb.addr(g)))
+        arm.spec_flag = SpecFlag.LD_A
+    acc = fb.read(ts[0])
+    for t, g in zip(ts, gs):
+        chk = fb.assign(t, fb.load(fb.addr(g)))
+        chk.spec_flag = SpecFlag.LD_C
+    fb.ret(acc)
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    fp = analyze_function_pressure(fb.fn, alat)
+
+    from repro.target.codegen import assign_registers
+
+    regs = assign_registers(fb.fn)
+    for t in ts:
+        expected = set_index_for_register(regs[t.id], alat)
+        assert fp.candidates[t.id].set_index == expected
+    r0, r1, r2 = (fp.candidates[t.id] for t in ts)
+    assert r0.set_index == r2.set_index == 0
+    assert r1.set_index == 1
+    assert r2.temp_id in r0.conflicts_with
+    assert r0.temp_id in r2.conflicts_with
+    assert not r1.conflicts_with
+    # one of the two set-0 entries is the predicted victim
+    assert P_CONFLICT_VICTIM in (r0.p_conflict, r2.p_conflict)
+    assert r1.p_conflict == 0.0
+    assert fp.peak_by_set[0] == 2
+    assert fp.peak_occupancy == 3
+
+
+def test_candidate_report_combines_miss_sources():
+    rep = CandidateReport(
+        function="f",
+        temp_id=1,
+        name="t",
+        register=0,
+        set_index=0,
+        is_float=False,
+        n_arming=1,
+        n_checks=1,
+        n_branching_checks=0,
+        check_weight=1.0,
+        p_alias=0.5,
+        p_conflict=0.5,
+    )
+    assert rep.p_miss == pytest.approx(0.75)
+
+
+# -- the promotion gate end to end ------------------------------------
+
+
+def _advanced_loads(program):
+    return sum(
+        1
+        for mf in program.functions.values()
+        for ins in mf.instrs
+        if isinstance(ins, Ld) and ins.kind is not LoadKind.NORMAL
+    )
+
+
+@pytest.mark.parametrize("bench", ["gzip", "equake"])
+def test_gate_demotes_without_changing_output(bench):
+    w = get_workload(bench)
+    results = {}
+    for gate in (PromotionGate.OFF, PromotionGate.ON):
+        opts = SPECULATIVE()
+        opts.promotion_gate = gate
+        out = compile_source(
+            w.source, opts, train_args=list(w.train_args), name=bench
+        )
+        run = out.run(list(w.ref_args))
+        results[gate] = (out, run)
+    out_off, run_off = results[PromotionGate.OFF]
+    out_on, run_on = results[PromotionGate.ON]
+    assert run_on.output == run_off.output
+    assert run_on.exit_value == run_off.exit_value
+    # demotion really stripped advanced loads from the machine code
+    assert _advanced_loads(out_on.program) < _advanced_loads(out_off.program)
+    # and the surviving speculation misses no more often than before
+    off, on = run_off.alat_stats, run_on.alat_stats
+    assert on.capacity_evictions <= off.capacity_evictions
+    assert on.peak_occupancy <= off.peak_occupancy
+
+
+def test_gate_on_cuts_evictions_on_pressure_heavy_workload():
+    w = get_workload("equake")
+    evictions = {}
+    for gate in (PromotionGate.OFF, PromotionGate.ON):
+        opts = SPECULATIVE()
+        opts.promotion_gate = gate
+        out = compile_source(
+            w.source, opts, train_args=list(w.train_args), name="equake"
+        )
+        evictions[gate] = out.run(list(w.ref_args)).alat_stats.capacity_evictions
+    assert evictions[PromotionGate.ON] < evictions[PromotionGate.OFF]
+
+
+def test_warn_mode_flags_but_keeps_promotions():
+    w = get_workload("gzip")
+    opts = SPECULATIVE()
+    assert opts.promotion_gate is PromotionGate.WARN
+    out = compile_source(
+        w.source, opts, train_args=list(w.train_args), name="gzip"
+    )
+    pressure_diags = [d for d in out.diagnostics if d.rule == "PRESSURE"]
+    assert pressure_diags, "gzip's dead armings should be flagged"
+    assert _advanced_loads(out.program) > 0
+
+
+def test_pressure_decision_trace_events():
+    from repro.obs.sinks import MemorySink
+    from repro.obs.trace import TraceContext
+
+    sink = MemorySink()
+    obs = TraceContext(sink)
+    w = get_workload("gzip")
+    opts = SPECULATIVE()
+    compile_source(
+        w.source, opts, train_args=list(w.train_args), name="gzip", obs=obs
+    )
+    decisions = [e for e in sink.events if e["event"] == "pressure.decision"]
+    assert decisions
+    verdicts = {e["verdict"] for e in decisions}
+    assert "flag" in verdicts  # warn mode marks would-be demotions
+    for e in decisions:
+        assert {"function", "temp", "register", "set_index", "profit"} <= set(e)
+
+
+def test_demotion_plan_spares_net_positive_groups():
+    """A dead address temp whose dependents are highly profitable must
+    not drag them down: the group nets positive and is kept whole."""
+    w = get_workload("ammp")
+    opts = SPECULATIVE()
+    opts.promotion_gate = PromotionGate.OFF
+    out = compile_source(
+        w.source, opts, train_args=list(w.train_args), name="ammp"
+    )
+    from repro.speclint import facts_from_pre_stats
+
+    facts = facts_from_pre_stats(out.pre_stats, out.alias_manager)
+    mp = analyze_module_pressure(
+        out.module,
+        opts.machine.alat,
+        am=out.alias_manager,
+        profile=out.profile,
+        targets_by_temp=facts.targets_by_temp,
+    )
+    plan = mp.demotion_plan()
+    demoted = {
+        (fn, t) for fn, reasons in plan.items() for t in reasons
+    }
+    for fp in mp.functions.values():
+        for rep in fp.candidates.values():
+            if rep.profit > 0:
+                assert (fp.function, rep.temp_id) not in demoted
+
+
+# -- calibration -------------------------------------------------------
+
+
+def test_calibration_within_tolerance_on_pressure_matrix():
+    from repro.analysis.alatpressure import run_calibration
+
+    rows, problems = run_calibration(["gzip", "ammp", "equake"])
+    assert problems == [], problems
+    assert len(rows) == 3
+    by_name = {r.workload: r for r in rows}
+    # the residue model reproduces the stale-activation peaks
+    assert by_name["gzip"].actual_peak == by_name["gzip"].predicted_peak
+    assert abs(by_name["ammp"].predicted_peak - by_name["ammp"].actual_peak) <= 2

@@ -263,3 +263,62 @@ def test_reachable_from_main():
     """
     cg = build_call_graph(compile_to_ir(src))
     assert cg.reachable_from("main") == {"main", "used"}
+
+
+# -- unreachable blocks (regression: phantom facts from dead code) -------------
+
+
+def unreachable_into_loop_fn():
+    """A loop plus a dead block whose edges point into the loop body.
+
+    Built by hand because the frontend never emits this shape; it shows
+    up after aggressive branch folding.  The dead block both uses a
+    variable (phantom liveness) and is a CFG predecessor of the loop
+    body (phantom loop membership)."""
+    from repro.ir import INT, ModuleBuilder
+
+    mb = ModuleBuilder("m")
+    fb = mb.function("main", [("n", INT)], INT)
+    n = fb.fn.params[0]
+    i = fb.temp(INT, "i")
+    ghost = fb.temp(INT, "ghost")
+    fb.assign(i, 0)
+    fb.assign(ghost, 7)
+    head = fb.block("head")
+    body = fb.block("body")
+    exit_ = fb.block("exit")
+    dead = fb.block("dead")
+    fb.jump(head)
+    fb.set_block(head)
+    fb.branch(fb.lt(i, n), body, exit_)
+    fb.set_block(body)
+    fb.assign(i, fb.add(fb.read(i), 1))
+    fb.jump(head)
+    fb.set_block(dead)
+    fb.assign(i, fb.add(fb.read(ghost), 1))  # uses ghost, defines i
+    fb.jump(body)
+    fb.set_block(exit_)
+    fb.ret(fb.read(i))
+    fb.finish()
+    mb.finish()
+    fb.fn.compute_preds()
+    return fb.fn, i, ghost, head, body, dead
+
+
+def test_unreachable_block_not_in_loop_body():
+    fn, _i, _ghost, head, body, dead = unreachable_into_loop_fn()
+    loops = find_natural_loops(fn, compute_dominators(fn))
+    loop = loops.innermost_containing(body)
+    assert loop is not None
+    assert body.bid in loop.blocks
+    assert dead.bid not in loop.blocks, "dead block must not join the loop"
+
+
+def test_unreachable_block_has_empty_liveness():
+    fn, _i, ghost, head, body, dead = unreachable_into_loop_fn()
+    live = compute_liveness(fn)
+    assert live.live_into(dead) == frozenset()
+    assert live.live_outof(dead) == frozenset()
+    # the dead block's use of ghost must not leak into reachable code
+    assert ghost.id not in live.live_into(body)
+    assert ghost.id not in live.live_into(head)

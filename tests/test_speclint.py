@@ -251,7 +251,11 @@ def test_cascade_sources_pass_strict(mode, rounds):
             opt_level=OptLevel.O3, spec_mode=mode, rounds=rounds
         )
         out = compile_source(src, opts, train_args=[6], name="chain")
-        assert not out.diagnostics, [d.format() for d in out.diagnostics]
+        # PRESSURE advisories (the promotion gate's profitability
+        # warnings) are not speclint findings: this test guards the
+        # safety rules against false positives, so filter them out.
+        diags = [d for d in out.diagnostics if d.rule != "PRESSURE"]
+        assert not diags, [d.format() for d in diags]
 
 
 @pytest.mark.parametrize("bench", ["gzip", "mcf", "equake"])
