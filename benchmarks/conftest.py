@@ -7,16 +7,18 @@ echoed to the terminal at session end (pytest captures stdout during
 tests, so the tables are printed from the sessionfinish hook).
 
 Observability: every session also dumps per-mode run metrics
-(``results/metrics.json``, via ``repro.obs.build_metrics``).  Set
+(``results/metrics.json``, via ``repro.obs.build_metrics`` — including
+the ``host`` section with wall-clock and steps/sec).  Set
 ``REPRO_BENCH_TRACE=1`` to additionally stream every benchmark run's
 structured event trace to ``results/traces/<bench>.<mode>.jsonl``.
 
 Regression gate: set ``REPRO_BENCH_HISTORY=1`` to append each run's
-tracked counters to ``benchmarks/history/<bench>.jsonl`` and flag any
-counter that regressed past the threshold against the previous record
-(or point it at an alternate history directory).  The report is echoed
-at session end; flags never fail the figure tests themselves — CI gates
-separately via ``python -m repro.obs.regress``.
+tracked counters *and host metrics* to
+``benchmarks/history/<bench>.jsonl`` and flag regressions — counters
+against the previous record, host wall-clock/throughput against the
+median of the last ≤3 (or point it at an alternate history directory).
+The report is echoed at session end; flags never fail the figure tests
+themselves — CI gates separately via ``python -m repro.obs.regress``.
 """
 
 from __future__ import annotations

@@ -15,6 +15,12 @@ prints the human-readable report.  ``--profile`` prints the
 perf-annotate-style source listing (cycle attribution + ALAT site
 stats); ``--diff-baseline`` additionally compiles with speculation off
 and prints the baseline-vs-speculative comparison.
+
+Host-side telemetry (see DESIGN.md §13): ``--host-profile`` attributes
+host wall time to simulator opcode classes, ``--trace-chrome`` writes a
+Perfetto-loadable Chrome trace of the span tree, ``--flamegraph``
+writes collapsed stacks, and ``--mem`` adds tracemalloc peak deltas to
+every phase.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import json
 import sys
 
 from repro.obs import (
+    HostProfiler,
     ProfileReport,
     TraceContext,
     build_metrics,
@@ -31,6 +38,8 @@ from repro.obs import (
     format_diff,
     format_summary,
     make_sink,
+    write_chrome_trace,
+    write_flamegraph,
 )
 from repro.pipeline import (
     CompilerOptions,
@@ -157,6 +166,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compile with speculation off and print the "
         "baseline-vs-speculative diff (cycles, loads, check overhead)",
     )
+    parser.add_argument(
+        "--host-profile",
+        action="store_true",
+        help="attribute host wall time to simulator opcode classes and "
+        "print the breakdown (with --verify, also profiles the "
+        "interpreter's dispatch loop)",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="FILE",
+        default=None,
+        help="write the span tree (plus --host-profile buckets) as "
+        "Chrome trace_event JSON, loadable in Perfetto",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="FILE",
+        default=None,
+        help="write the span tree as collapsed stacks "
+        "(flamegraph.pl / speedscope input)",
+    )
+    parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="track tracemalloc peak-allocation deltas per phase/span "
+        "(slows allocation-heavy host code)",
+    )
     return parser
 
 
@@ -179,7 +215,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     train = args.train_args if args.train_args is not None else args.args
 
-    obs = TraceContext(make_sink(args.trace), snapshot_every=args.snapshot_every)
+    obs = TraceContext(
+        make_sink(args.trace),
+        snapshot_every=args.snapshot_every,
+        track_memory=args.mem,
+    )
+    host = HostProfiler() if args.host_profile else None
     try:
         output = compile_source(
             source, options, train_args=train, name=args.file, obs=obs
@@ -224,7 +265,9 @@ def main(argv: list[str] | None = None) -> int:
             print()
 
         want_profile = args.profile or args.diff_baseline
-        result = output.run(list(args.args), profile=want_profile)
+        result = output.run(
+            list(args.args), profile=want_profile, host_profiler=host
+        )
 
         base_result = None
         if args.diff_baseline:
@@ -259,18 +302,44 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.verify:
-        reference = run_program(source, list(args.args))
+        interp_host = HostProfiler() if args.host_profile else None
+        reference = run_program(
+            source, list(args.args), host_profiler=interp_host
+        )
         if reference.output != result.output or reference.exit_value != result.exit_value:
             print("VERIFY FAILED: optimised output differs from oracle", file=sys.stderr)
             return 2
         print("verify: OK (matches unoptimised interpreter)", file=sys.stderr)
+        if interp_host is not None:
+            print(
+                interp_host.format_breakdown(title="interpreter host profile"),
+                file=sys.stderr,
+            )
 
     if args.counters:
         for key, value in result.counters.as_dict().items():
             print(f"{key:>22}: {value}", file=sys.stderr)
 
+    if host is not None:
+        simulate_ms = obs.phase_times.get("simulate", 0.0) * 1e3
+        print(
+            host.format_breakdown(
+                simulate_ms or None, title="simulator host profile"
+            ),
+            file=sys.stderr,
+        )
+    if args.trace_chrome:
+        write_chrome_trace(args.trace_chrome, obs, host)
+        print(
+            f"wrote Chrome trace to {args.trace_chrome} "
+            "(open in https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if args.flamegraph:
+        write_flamegraph(args.flamegraph, obs, host)
+
     if args.metrics_out or args.summary:
-        metrics = build_metrics(output, result, obs)
+        metrics = build_metrics(output, result, obs, host=host)
         if args.metrics_out == "-":
             json.dump(metrics, sys.stdout, indent=2)
             print()

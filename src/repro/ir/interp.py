@@ -29,9 +29,12 @@ package builds the alias profile (paper section 3.1) from these events.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Union
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Union
 
 from repro.errors import InterpError, InterpLimitExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> ir)
+    from repro.obs.telemetry import HostProfiler
 from repro.ir.expr import (
     AddrOf,
     BinOp,
@@ -165,10 +168,15 @@ class Interpreter:
         tracer: Optional[MemoryTracer] = None,
         max_steps: int = 50_000_000,
         on_print: Optional[Callable[[Print, str], None]] = None,
+        host_profiler=None,
     ) -> None:
         self.module = module
         self.tracer = tracer
         self.max_steps = max_steps
+        #: optional :class:`repro.obs.telemetry.HostProfiler` — buckets
+        #: host wall-clock per dispatched statement class
+        #: (``interp.op.Assign``, …).  Purely observational.
+        self.host = host_profiler
         #: observer invoked with (Print stmt, formatted text) per output
         #: line — translation validation uses it to attribute the first
         #: divergent print back to a source Loc.
@@ -234,6 +242,8 @@ class Interpreter:
             raise InterpError(
                 f"{fn.name} expects {len(fn.params)} args, got {len(args)}"
             )
+        hp = self.host
+        _t0 = hp.now() if hp is not None else 0
         frame = _Frame(fn, self._stack_top)
         addr = self._stack_top
         for var in fn.all_variables():
@@ -252,10 +262,14 @@ class Interpreter:
 
         for p, a in zip(fn.params, args):
             self._write_var(p, a)
+        if hp is not None:
+            hp.add("interp.frame", hp.now() - _t0)
 
         try:
             return self._run_function(fn)
         finally:
+            if hp is not None:
+                _t0 = hp.now()
             popped = self._frames.pop()
             by_id = {v.id: v for v in popped.fn.all_variables()}
             for var_id, base in popped.var_addrs.items():
@@ -263,10 +277,17 @@ class Interpreter:
                     self.owner.pop(base + w, None)
                     self.mem.pop(base + w, None)
             self._stack_top = popped.base
+            if hp is not None:
+                hp.add("interp.frame", hp.now() - _t0)
 
     def _run_function(self, fn: Function) -> Optional[Union[int, float]]:
         block = fn.entry
         idx = 0
+        # Host-profiling state: ``hp`` is None on unprofiled runs (one
+        # falsy check per dispatched statement).  Timestamps chain so
+        # attributed time tiles the dispatch loop without gaps.
+        hp = self.host
+        t_mark = hp.now() if hp is not None else 0
         while True:
             if idx >= len(block.stmts):
                 raise InterpError(f"fell off end of block {block.label} in {fn.name}")
@@ -278,17 +299,43 @@ class Interpreter:
                     f"interpreter exceeded {self.max_steps} steps"
                 )
             if isinstance(stmt, Return):
-                return self._eval(stmt.expr) if stmt.expr is not None else None
+                result = (
+                    self._eval(stmt.expr) if stmt.expr is not None else None
+                )
+                if hp is not None:
+                    hp.add(
+                        "interp.op.Return",
+                        hp.now() - t_mark - hp.take_sub(),
+                    )
+                return result
             if isinstance(stmt, Jump):
                 block, idx = stmt.target, 0
+                if hp is not None:
+                    t_now = hp.now()
+                    hp.add("interp.op.Jump", t_now - t_mark - hp.take_sub())
+                    t_mark = t_now
                 continue
             if isinstance(stmt, CondBranch):
                 taken = self._eval(stmt.cond)
                 block = stmt.then_block if taken else stmt.else_block
                 idx = 0
+                if hp is not None:
+                    t_now = hp.now()
+                    hp.add(
+                        "interp.op.CondBranch",
+                        t_now - t_mark - hp.take_sub(),
+                    )
+                    t_mark = t_now
                 continue
             self._exec(stmt)
             idx += 1
+            if hp is not None:
+                t_now = hp.now()
+                hp.add(
+                    hp.op_key(stmt.__class__, "interp.op."),
+                    t_now - t_mark - hp.take_sub(),
+                )
+                t_mark = t_now
 
     # -- statement execution ---------------------------------------------
 
@@ -325,7 +372,17 @@ class Interpreter:
         elif isinstance(stmt, Call):
             callee = self.module.function(stmt.callee)
             args = [self._eval(a) for a in stmt.args]
-            result = self._call(callee, args)
+            hp = self.host
+            if hp is None:
+                result = self._call(callee, args)
+            else:
+                # The callee's dispatch loop accounts for its own time;
+                # defer the whole call so the Call bucket only keeps
+                # argument evaluation + frame bookkeeping residue.
+                _t = hp.now()
+                result = self._call(callee, args)
+                hp.take_sub()
+                hp.defer(hp.now() - _t)
             if stmt.result is not None:
                 if result is None:
                     raise InterpError(f"void call used as value: {stmt}")
@@ -473,6 +530,9 @@ def run_module(
     args: Optional[list[Union[int, float]]] = None,
     tracer: Optional[MemoryTracer] = None,
     max_steps: int = 50_000_000,
+    host_profiler: Optional["HostProfiler"] = None,
 ) -> InterpResult:
     """Convenience wrapper: interpret ``module.main(args)``."""
-    return Interpreter(module, tracer, max_steps).run(args)
+    return Interpreter(
+        module, tracer, max_steps, host_profiler=host_profiler
+    ).run(args)

@@ -136,7 +136,14 @@ class Simulator:
         obs: Optional[TraceContext] = None,
         profile: bool = False,
         injector=None,
+        host_profiler=None,
     ) -> None:
+        #: optional :class:`repro.obs.telemetry.HostProfiler` — buckets
+        #: *host* wall-clock by simulated-opcode class.  Like tracing
+        #: and guest profiling, it never mutates simulator state, so
+        #: simulated counters are bit-identical with it on or off.
+        self.host = host_profiler
+        _t0 = host_profiler.now() if host_profiler is not None else 0
         self.program = program
         self.config = config or MachineConfig()
         self.obs = obs if obs is not None else NULL_TRACE
@@ -167,6 +174,8 @@ class Simulator:
         if profile:
             self.profile = RunProfile(program, self._w)
             self._attach_profile_observer()
+        if host_profiler is not None:
+            host_profiler.add("sim.init", host_profiler.now() - _t0)
 
     def _attach_observers(self) -> None:
         """Hook the machine components into the trace context.
@@ -206,6 +215,8 @@ class Simulator:
     # -- public API -----------------------------------------------------
 
     def run(self, args: Optional[list[Value]] = None) -> MachineResult:
+        hp = self.host
+        _t0 = hp.now() if hp is not None else 0
         self.obs.event(
             "sim.begin", program=self.program.name, args=list(args or [])
         )
@@ -217,7 +228,11 @@ class Simulator:
                 self.obs.event("chaos.fault", kind=kind, **detail)
         main = self.program.function("main")
         self.rse.call(main.nregs)
+        if hp is not None:
+            hp.add("sim.run", hp.now() - _t0)
         result = self._run_function(main, list(args or []))
+        if hp is not None:
+            _t0 = hp.now()
         self.counters.rse_cycles = self.rse.stats.rse_cycles
         self.counters.cpu_cycles = self.time // self._w
         if self.profile is not None:
@@ -231,6 +246,8 @@ class Simulator:
                 cycles=self.counters.cpu_cycles,
                 instructions=self.counters.instructions,
             )
+        if hp is not None:
+            hp.add("sim.run", hp.now() - _t0)
         return MachineResult(
             exit_value, self.output, self.counters, self.alat, self.cache,
             self.rse, profile=self.profile,
@@ -253,6 +270,8 @@ class Simulator:
     # -- execution -----------------------------------------------------------
 
     def _run_function(self, mf: MFunction, args: list[Value]) -> Optional[Value]:
+        hp = self.host
+        _t0 = hp.now() if hp is not None else 0
         self._serial += 1
         frame = _Frame(mf, self._serial, self._stack_top)
         self._stack_top += mf.frame_words
@@ -262,13 +281,19 @@ class Simulator:
         # zero-initialise the memory frame (MiniC semantics)
         for w in range(mf.frame_words):
             self.mem[frame.frame_base + w] = 0
+        if hp is not None:
+            hp.add("sim.frame", hp.now() - _t0)
 
         try:
             return self._execute(frame)
         finally:
+            if hp is not None:
+                _t0 = hp.now()
             for w in range(mf.frame_words):
                 self.mem.pop(frame.frame_base + w, None)
             self._stack_top = frame.frame_base
+            if hp is not None:
+                hp.add("sim.frame", hp.now() - _t0)
 
     def _execute(self, frame: _Frame) -> Optional[Value]:
         mf = frame.mf
@@ -288,6 +313,12 @@ class Simulator:
         # Fault-injection state, same pattern: one falsy check per
         # retired instruction when no injector is attached.
         inj = self.injector
+        # Host-profiling state: ``hp`` is None on unprofiled runs (one
+        # falsy check per segment).  Timestamps chain — each mark ends
+        # one bucket segment and starts the next — so profiled time
+        # tiles the loop with no unattributed gaps between marks.
+        hp = self.host
+        t_mark = hp.now() if hp is not None else 0
 
         while True:
             if pc >= len(instrs):
@@ -321,6 +352,11 @@ class Simulator:
                 # the per-instruction sums tile self.time exactly (a
                 # call's callee self-attributes its own instructions)
                 prof.retire(instr, self.time - t0)
+            if hp is not None:
+                t_now = hp.now()
+                hp.add("sim.issue", t_now - t_mark)
+                hp.take_sub()
+                t_mark = t_now
 
             # execute
             if isinstance(instr, MovI):
@@ -349,7 +385,12 @@ class Simulator:
             elif isinstance(instr, ChkA):
                 counters.check_instructions += 1
                 tag = (frame.serial, instr.rd)
-                ok = self.alat.check(tag, instr.clear)
+                if hp is None:
+                    ok = self.alat.check(tag, instr.clear)
+                else:
+                    _ta = hp.now()
+                    ok = self.alat.check(tag, instr.clear)
+                    hp.add_sub("sim.alat", hp.now() - _ta)
                 if prof is not None:
                     prof.check(tag, instr, ok)
                 if not ok:
@@ -366,14 +407,27 @@ class Simulator:
             elif isinstance(instr, St):
                 addr = self._addr(frame, instr.ra)
                 self.mem[addr] = self._read_reg(frame, instr.rs)
-                self.alat.snoop_store(addr)
-                self.cache.store_touch(addr)
+                if hp is None:
+                    self.alat.snoop_store(addr)
+                    self.cache.store_touch(addr)
+                else:
+                    _ta = hp.now()
+                    self.alat.snoop_store(addr)
+                    _tc = hp.now()
+                    self.cache.store_touch(addr)
+                    hp.add_sub("sim.alat", _tc - _ta)
+                    hp.add_sub("sim.cache", hp.now() - _tc)
                 counters.retired_stores += 1
             elif isinstance(instr, PredLd):
                 if self._read_reg(frame, instr.rp):
                     addr = self._addr(frame, instr.ra)
                     frame.regs[instr.rd] = self._load_value(addr)
-                    latency = self.cache.load_latency(addr, instr.is_float)
+                    if hp is None:
+                        latency = self.cache.load_latency(addr, instr.is_float)
+                    else:
+                        _tc = hp.now()
+                        latency = self.cache.load_latency(addr, instr.is_float)
+                        hp.add_sub("sim.cache", hp.now() - _tc)
                     frame.ready[instr.rd] = start + w * latency
                     counters.retired_loads += 1
                     counters.predicated_reloads += 1
@@ -402,7 +456,15 @@ class Simulator:
                 callee = self.program.function(instr.callee)
                 self.rse.call(callee.nregs)
                 call_args = [self._read_reg(frame, r) for r in instr.arg_regs]
-                result = self._run_function(callee, call_args)
+                if hp is None:
+                    result = self._run_function(callee, call_args)
+                else:
+                    # The callee's instructions bucket themselves inside
+                    # the nested _execute; keep them out of CallF.
+                    _tcall = hp.now()
+                    result = self._run_function(callee, call_args)
+                    hp.take_sub()
+                    hp.defer(hp.now() - _tcall)
                 self.rse.ret()
                 if instr.result_rd is not None:
                     if result is None:
@@ -410,6 +472,12 @@ class Simulator:
                     frame.regs[instr.result_rd] = result
                     frame.ready[instr.result_rd] = self.time + w
             elif isinstance(instr, RetF):
+                if hp is not None:
+                    # This arm leaves the loop, so close its bucket here
+                    # instead of at the loop bottom.
+                    hp.add(
+                        "sim.op.RetF", hp.now() - t_mark - hp.take_sub()
+                    )
                 if instr.rs is not None:
                     return self._read_reg(frame, instr.rs)
                 return None
@@ -425,6 +493,14 @@ class Simulator:
                 self.output.append(format_value(self._read_reg(frame, instr.rs)))
             else:
                 self._fault(f"unknown instruction {instr!r}")
+
+            if hp is not None:
+                t_now = hp.now()
+                hp.add(
+                    hp.op_key(instr.__class__),
+                    t_now - t_mark - hp.take_sub(),
+                )
+                t_mark = t_now
 
     # -- memory ops -----------------------------------------------------------
 
@@ -450,7 +526,13 @@ class Simulator:
         else:
             addr = self._addr(frame, instr.ra)
         frame.regs[instr.rd] = self._load_value(addr)
-        latency = self.cache.load_latency(addr, instr.is_float)
+        hp = self.host
+        if hp is None:
+            latency = self.cache.load_latency(addr, instr.is_float)
+        else:
+            _tc = hp.now()
+            latency = self.cache.load_latency(addr, instr.is_float)
+            hp.add_sub("sim.cache", hp.now() - _tc)
         frame.ready[instr.rd] = start + self._w * latency
         counters.retired_loads += 1
         counters.data_access_cycles += latency
@@ -464,13 +546,24 @@ class Simulator:
             counters.retired_advanced_loads += 1
             if self.profile is not None:
                 self.profile.bind_tag((frame.serial, instr.rd), instr)
-            self.alat.allocate((frame.serial, instr.rd), addr)
+            if hp is None:
+                self.alat.allocate((frame.serial, instr.rd), addr)
+            else:
+                _ta = hp.now()
+                self.alat.allocate((frame.serial, instr.rd), addr)
+                hp.add_sub("sim.alat", hp.now() - _ta)
 
     def _do_check_load(self, frame: _Frame, instr: LdC, start: int) -> None:
         counters = self.counters
         counters.check_instructions += 1
         tag = (frame.serial, instr.rd)
-        hit = self.alat.check(tag, instr.clear)
+        hp = self.host
+        if hp is None:
+            hit = self.alat.check(tag, instr.clear)
+        else:
+            _ta = hp.now()
+            hit = self.alat.check(tag, instr.clear)
+            hp.add_sub("sim.alat", hp.now() - _ta)
         if self.profile is not None:
             self.profile.check(tag, instr, hit)
         if hit:
@@ -486,7 +579,12 @@ class Simulator:
             return
         addr = int(raw)
         frame.regs[instr.rd] = self._load_value(addr)
-        latency = self.cache.load_latency(addr, instr.is_float)
+        if hp is None:
+            latency = self.cache.load_latency(addr, instr.is_float)
+        else:
+            _tc = hp.now()
+            latency = self.cache.load_latency(addr, instr.is_float)
+            hp.add_sub("sim.cache", hp.now() - _tc)
         frame.ready[instr.rd] = start + self._w * latency
         counters.retired_loads += 1
         counters.data_access_cycles += latency
@@ -499,7 +597,12 @@ class Simulator:
         if not instr.clear:
             if self.profile is not None:
                 self.profile.bind_tag(tag, instr)
-            self.alat.allocate(tag, addr)
+            if hp is None:
+                self.alat.allocate(tag, addr)
+            else:
+                _ta = hp.now()
+                self.alat.allocate(tag, addr)
+                hp.add_sub("sim.alat", hp.now() - _ta)
 
     # -- ALU semantics ----------------------------------------------------------
 
@@ -568,8 +671,10 @@ def run_machine(
     obs: Optional[TraceContext] = None,
     profile: bool = False,
     injector=None,
+    host_profiler=None,
 ) -> MachineResult:
     """Convenience wrapper."""
     return Simulator(
-        program, config, obs=obs, profile=profile, injector=injector
+        program, config, obs=obs, profile=profile, injector=injector,
+        host_profiler=host_profiler,
     ).run(args)

@@ -13,7 +13,10 @@ The subsystem has three layers:
 * :mod:`repro.obs.diff` — baseline-vs-speculative run comparison
   (Figure 8 shape);
 * :mod:`repro.obs.regress` — benchmark history (JSONL) + regression
-  gate, also a CLI (``python -m repro.obs.regress``).
+  gate, also a CLI (``python -m repro.obs.regress``);
+* :mod:`repro.obs.telemetry` — host-side telemetry: the hot-loop
+  :class:`HostProfiler` and the Chrome-trace / flamegraph exporters
+  over the span tree :class:`TraceContext` records.
 
 The default everywhere is :data:`NULL_TRACE`, whose sink reports
 ``enabled = False``; producers skip event construction entirely, so an
@@ -33,7 +36,14 @@ from repro.obs.sinks import (
     make_sink,
     read_jsonl,
 )
-from repro.obs.trace import NULL_TRACE, TraceContext
+from repro.obs.telemetry import (
+    HostProfiler,
+    chrome_trace,
+    collapsed_stacks,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.obs.trace import NULL_TRACE, Span, TraceContext
 
 #: regress is also an entry point (``python -m repro.obs.regress``);
 #: re-exporting lazily keeps runpy from double-importing it.
@@ -50,6 +60,7 @@ def __getattr__(name: str):
 
 __all__ = [
     "GateReport",
+    "HostProfiler",
     "JsonlSink",
     "MemorySink",
     "NULL_SINK",
@@ -58,8 +69,11 @@ __all__ = [
     "ProfileReport",
     "RunProfile",
     "Sink",
+    "Span",
     "TraceContext",
     "build_metrics",
+    "chrome_trace",
+    "collapsed_stacks",
     "diff_runs",
     "format_diff",
     "format_summary",
@@ -69,4 +83,6 @@ __all__ = [
     "make_sink",
     "misspeculation_breakdown",
     "read_jsonl",
+    "write_chrome_trace",
+    "write_flamegraph",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import time
 from dataclasses import dataclass
@@ -38,6 +39,23 @@ TRACKED_COUNTERS: tuple[tuple[str, str], ...] = (
     ("check_failures", "warn"),
     ("recovery_cycles", "warn"),
 )
+
+#: host-side metrics compared per mode:
+#: ``(name, direction, warn_frac, fail_frac)``.  ``direction`` is +1
+#: when higher is worse (wall time) and -1 when lower is worse
+#: (throughput).  Unlike the simulated counters — which are
+#: deterministic, so 10% means something — host wall time is noisy
+#: (CI neighbours, thermal throttling), so the bands are wide and
+#: baselines are the **median of the last ≤3** history records rather
+#: than the latest alone: crossing ``warn_frac`` warns, crossing
+#: ``fail_frac`` fails the gate.
+HOST_METRICS: tuple[tuple[str, int, float, float], ...] = (
+    ("wall_ms", +1, 0.50, 2.00),
+    ("sim_steps_per_sec", -1, 0.33, 0.67),
+)
+
+#: how many trailing history records feed the host-metric median
+HOST_BASELINE_WINDOW = 3
 
 DEFAULT_THRESHOLD = 0.10
 
@@ -66,7 +84,7 @@ class Flag:
         tag = "REGRESSION" if self.severity == "fail" else "warning"
         return (
             f"{tag}: {self.bench}/{self.mode} {self.counter} "
-            f"{self.previous} -> {self.current} (+{self.pct:.1f}%)"
+            f"{self.previous} -> {self.current} ({self.pct:+.1f}%)"
         )
 
 
@@ -97,16 +115,29 @@ def append_record(history_dir: str, record: dict) -> None:
         fh.write(json.dumps(record, sort_keys=True) + "\n")
 
 
-def make_record(bench: str, per_mode_counters: dict[str, dict]) -> dict:
-    """One history record: the tracked counter subset per mode."""
+def make_record(
+    bench: str,
+    per_mode_counters: dict[str, dict],
+    per_mode_host: Optional[dict[str, dict]] = None,
+) -> dict:
+    """One history record: the tracked counter subset per mode, plus
+    (when supplied) the tracked host metrics under a ``host`` key."""
     tracked = [name for name, _sev in TRACKED_COUNTERS]
+    host_tracked = [name for name, _d, _w, _f in HOST_METRICS]
+    modes: dict[str, dict] = {
+        mode: {k: counters.get(k, 0) for k in tracked}
+        for mode, counters in per_mode_counters.items()
+    }
+    for mode, host in (per_mode_host or {}).items():
+        if not host:
+            continue
+        subset = {k: host[k] for k in host_tracked if k in host}
+        if subset and mode in modes:
+            modes[mode]["host"] = subset
     return {
         "bench": bench,
         "timestamp": round(time.time(), 3),
-        "modes": {
-            mode: {k: counters.get(k, 0) for k in tracked}
-            for mode, counters in per_mode_counters.items()
-        },
+        "modes": modes,
     }
 
 
@@ -130,6 +161,47 @@ def compare_records(
                 flags.append(
                     Flag(current["bench"], mode, counter, prev, cur, severity)
                 )
+    return flags
+
+
+def compare_host_metrics(history: list[dict], current: dict) -> list[Flag]:
+    """Flag host-metric regressions against the median of the last
+    ≤``HOST_BASELINE_WINDOW`` history records (per mode/metric).
+
+    Direction-aware: ``wall_ms`` regresses upward, ``sim_steps_per_sec``
+    downward.  Inside the warn band nothing is flagged; past it a
+    warning; past the fail band a gate failure.  Records without host
+    data (pre-telemetry history) simply contribute nothing.
+    """
+    flags: list[Flag] = []
+    window = history[-HOST_BASELINE_WINDOW:]
+    for mode, cur_counters in current.get("modes", {}).items():
+        cur_host = cur_counters.get("host")
+        if not cur_host:
+            continue
+        for metric, direction, warn_frac, fail_frac in HOST_METRICS:
+            cur = cur_host.get(metric)
+            if cur is None:
+                continue
+            samples = [
+                rec["modes"][mode]["host"][metric]
+                for rec in window
+                if metric in rec.get("modes", {}).get(mode, {}).get("host", {})
+            ]
+            if not samples:
+                continue
+            baseline = statistics.median(samples)
+            if baseline <= 0:
+                continue
+            frac = direction * (cur - baseline) / baseline
+            if frac <= warn_frac:
+                continue
+            severity = "fail" if frac > fail_frac else "warn"
+            flags.append(
+                Flag(
+                    current["bench"], mode, metric, baseline, cur, severity
+                )
+            )
     return flags
 
 
@@ -178,14 +250,15 @@ def gate_records(
     seeded: list[str] = []
     checked: list[str] = []
     for bench, record in sorted(records.items()):
-        previous = latest_record(history_dir, bench)
-        if previous is None:
+        history = load_history(history_dir, bench)
+        if not history:
             seeded.append(bench)
             if update and seed:
                 append_record(history_dir, record)
         else:
             checked.append(bench)
-            flags.extend(compare_records(previous, record, threshold))
+            flags.extend(compare_records(history[-1], record, threshold))
+            flags.extend(compare_host_metrics(history, record))
             if update:
                 append_record(history_dir, record)
     return GateReport(flags, seeded, checked)
@@ -199,12 +272,16 @@ def gate_metrics(
     seed: bool = True,
 ) -> GateReport:
     """Gate the benchmark harness's ``metrics.json`` shape:
-    ``{bench: {mode: {"counters": {...}, ...}}}``."""
+    ``{bench: {mode: {"counters": {...}, "host": {...}, ...}}}``."""
     records = {
         bench: make_record(
             bench,
             {
                 mode: payload.get("counters", {})
+                for mode, payload in per_mode.items()
+            },
+            {
+                mode: payload.get("host", {})
                 for mode, payload in per_mode.items()
             },
         )

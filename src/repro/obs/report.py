@@ -15,10 +15,15 @@ from __future__ import annotations
 from dataclasses import asdict
 
 
-def build_metrics(output, result=None, obs=None) -> dict:
+def build_metrics(output, result=None, obs=None, host=None) -> dict:
     """Flatten a :class:`repro.pipeline.CompileOutput` (+ optional
-    :class:`repro.machine.cpu.MachineResult` and
-    :class:`repro.obs.TraceContext`) into one JSON-ready dict."""
+    :class:`repro.machine.cpu.MachineResult`,
+    :class:`repro.obs.TraceContext`, and
+    :class:`repro.obs.telemetry.HostProfiler`) into one JSON-ready
+    dict.  The ``host`` section carries host-side performance — total
+    wall time, simulate-phase wall time, simulated steps per host
+    second, peak allocations — which the regression gate tracks with
+    loose relative bands (host time is noisy; see DESIGN.md §13)."""
     metrics: dict = {
         "program": output.module.name,
         "options": output.options.describe(),
@@ -30,6 +35,8 @@ def build_metrics(output, result=None, obs=None) -> dict:
             name: round(seconds * 1e3, 3)
             for name, seconds in obs.phase_times.items()
         }
+        if obs.phase_mem_kb:
+            metrics["phase_mem_kb"] = dict(obs.phase_mem_kb)
     if output.pre_stats:
         metrics["pre"] = {
             name: {
@@ -54,7 +61,31 @@ def build_metrics(output, result=None, obs=None) -> dict:
         metrics["cache"] = asdict(result.cache_stats)
         metrics["rse"] = asdict(result.rse_stats)
         metrics["exit_value"] = result.exit_value
+    host_metrics = build_host_metrics(result, obs, host)
+    if host_metrics:
+        metrics["host"] = host_metrics
     return metrics
+
+
+def build_host_metrics(result, obs, host=None) -> dict:
+    """The ``host`` section of a metrics dict (empty when there is
+    nothing host-side to report): total/simulate wall ms, simulated
+    steps per host second, tracemalloc peak, optional profiler dump."""
+    out: dict = {}
+    if obs is not None and obs.phase_times:
+        out["wall_ms"] = round(sum(obs.phase_times.values()) * 1e3, 3)
+        simulate_s = obs.phase_times.get("simulate")
+        if simulate_s:
+            out["simulate_wall_ms"] = round(simulate_s * 1e3, 3)
+            if result is not None and result.counters.instructions:
+                out["sim_steps_per_sec"] = round(
+                    result.counters.instructions / simulate_s, 1
+                )
+        if obs.phase_mem_kb:
+            out["peak_kb"] = round(max(obs.phase_mem_kb.values()), 1)
+    if host is not None and host.ns:
+        out["profile"] = host.as_dict()
+    return out
 
 
 def _pct(x: float) -> str:
@@ -69,9 +100,13 @@ def format_summary(metrics: dict) -> str:
     phases = metrics.get("phase_wall_ms")
     if phases:
         total = sum(phases.values())
+        mem = metrics.get("phase_mem_kb", {})
         lines.append(f"-- phases ({total:.1f} ms total)")
         for name, ms in phases.items():
-            lines.append(f"   {name:<12} {ms:>10.3f} ms")
+            line = f"   {name:<12} {ms:>10.3f} ms"
+            if name in mem:
+                line += f"  peak {mem[name]:>9.1f} KiB"
+            lines.append(line)
     pre = metrics.get("pre")
     if pre:
         lines.append("-- register promotion (per function)")
@@ -114,6 +149,23 @@ def format_summary(metrics: dict) -> str:
             "-- RSE   spilled={spilled_registers} filled={filled_registers} "
             "cycles={rse_cycles} max_depth={max_depth}".format(**rse)
         )
+    host = metrics.get("host")
+    if host:
+        parts = [f"wall={host['wall_ms']:.1f}ms"]
+        if "simulate_wall_ms" in host:
+            parts.append(f"simulate={host['simulate_wall_ms']:.1f}ms")
+        if "sim_steps_per_sec" in host:
+            parts.append(f"steps/s={host['sim_steps_per_sec']:,.0f}")
+        if "peak_kb" in host:
+            parts.append(f"peak={host['peak_kb']:.0f}KiB")
+        lines.append("-- host  " + " ".join(parts))
+        profile = host.get("profile")
+        if profile:
+            lines.append(
+                f"   profiled {profile['total_ms']:.2f} ms across "
+                f"{len(profile['buckets'])} buckets "
+                f"(top: {next(iter(profile['buckets']), '-')})"
+            )
     return "\n".join(lines)
 
 

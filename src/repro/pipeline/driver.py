@@ -207,25 +207,48 @@ class CompileOutput:
         args: Optional[list[Value]] = None,
         profile: bool = False,
         injector=None,
+        host_profiler=None,
     ) -> MachineResult:
         """Simulate the compiled program.  With ``profile`` set, the
         result carries a :class:`repro.obs.RunProfile` attributing
         retired cycles and ALAT events to source locations.
         ``injector`` threads a :class:`repro.chaos.FaultInjector` into
-        the machine (one injector per run — it owns a seeded RNG)."""
+        the machine (one injector per run — it owns a seeded RNG).
+        ``host_profiler`` threads a
+        :class:`repro.obs.telemetry.HostProfiler` into the simulator's
+        dispatch loop for host wall-clock attribution."""
         with self.obs.phase("simulate"):
-            return Simulator(
+            if host_profiler is None:
+                return Simulator(
+                    self.program, self.options.machine, obs=self.obs,
+                    profile=profile, injector=injector,
+                ).run(args)
+            hp = host_profiler
+            t0 = hp.now()
+            base_ns = hp.total_ns
+            result = Simulator(
                 self.program, self.options.machine, obs=self.obs,
-                profile=profile, injector=injector,
+                profile=profile, injector=injector, host_profiler=hp,
             ).run(args)
+            # Whatever the simulator's own buckets did not claim inside
+            # this bracket (method-call glue, result construction) lands
+            # in ``sim.other`` so the breakdown tiles the simulate phase.
+            residual = (hp.now() - t0) - (hp.total_ns - base_ns)
+            if residual > 0:
+                hp.add("sim.other", residual)
+            return result
 
     def interpret(
         self,
         args: Optional[list[Value]] = None,
         max_steps: int = 50_000_000,
+        host_profiler=None,
     ) -> InterpResult:
         """Run the (optimised) IR under the interpreter (oracle)."""
-        return run_module(self.module, args, max_steps=max_steps)
+        return run_module(
+            self.module, args, max_steps=max_steps,
+            host_profiler=host_profiler,
+        )
 
     @property
     def total_reloads(self) -> int:
@@ -408,10 +431,11 @@ def _compile_module(
                 fn_decider = decider
                 if decider is not None and obs.enabled:
                     fn_decider = _traced_decider(obs, fn.name, decider)
-                stats = run_load_pre(
-                    fn, module, am, pre_opts, spec_decider=fn_decider,
-                    rounds=opts.rounds,
-                )
+                with obs.span("pre.fn", function=fn.name):
+                    stats = run_load_pre(
+                        fn, module, am, pre_opts, spec_decider=fn_decider,
+                        rounds=opts.rounds, obs=obs,
+                    )
                 output.pre_stats[fn.name] = stats
                 obs.event(
                     "pre.function",
@@ -476,8 +500,12 @@ def run_program(
     source: str,
     args: Optional[list[Value]] = None,
     max_steps: int = 50_000_000,
+    host_profiler=None,
 ) -> InterpResult:
     """Interpret a MiniC program directly (no optimisation) — the
     reference oracle for everything else.  ``max_steps`` is the fuel
     budget; exhausting it raises :class:`repro.errors.InterpTimeout`."""
-    return run_module(compile_to_ir(source), args, max_steps=max_steps)
+    return run_module(
+        compile_to_ir(source), args, max_steps=max_steps,
+        host_profiler=host_profiler,
+    )

@@ -30,6 +30,7 @@ from repro.ir.cfg import BasicBlock
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.verify import verify_function
+from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.pre.candidates import CandidateKind, collect_candidates
 from repro.pre.ssapre import PREOptions, PREResult, SSAPRE
 from repro.ssa.hssa import SpecDecider, build_hssa
@@ -113,9 +114,15 @@ def run_load_pre(
     options: Optional[PREOptions] = None,
     spec_decider: Optional[SpecDecider] = None,
     rounds: int = 1,
+    obs: Optional[TraceContext] = None,
 ) -> FunctionPREStats:
-    """Run ``rounds`` promotion rounds over one function."""
+    """Run ``rounds`` promotion rounds over one function.
+
+    ``obs`` (optional) records one ``pre.round`` span per round with
+    ``pre.hssa`` / ``pre.rewrite`` / ``pre.verify`` children, so a
+    trace shows where PRE compile time goes per function."""
     opts = options or PREOptions()
+    obs = obs if obs is not None else NULL_TRACE
     stats = FunctionPREStats(fn.name)
     split_critical_edges(fn)
     for round_index in range(max(1, rounds)):
@@ -128,21 +135,27 @@ def run_load_pre(
             am = AliasManager(module, am.kind, am.use_type_filter)
             if opts.speculative and not opts.softcheck:
                 round_opts = dataclasses.replace(opts, cascade=True)
-        info = build_hssa(fn, module, am, spec_decider=spec_decider)
-        loops = find_natural_loops(fn, info.domtree)
-        candidates = collect_candidates(fn, info)
-        # direct candidates first (bottom-up expression order)
-        candidates.sort(
-            key=lambda c: 0 if c.kind is CandidateKind.DIRECT else 1
-        )
-        changed = False
-        for cand in candidates:
-            result = SSAPRE(fn, info, cand, round_opts, loops).run()
-            if result.changed or result.checks or result.invalidates:
-                stats.results.append(result)
-                changed = changed or result.changed
-        stats.rounds += 1
-        verify_function(fn, module)
+        with obs.span("pre.round", function=fn.name, round=round_index):
+            with obs.span("pre.hssa"):
+                info = build_hssa(
+                    fn, module, am, spec_decider=spec_decider
+                )
+                loops = find_natural_loops(fn, info.domtree)
+                candidates = collect_candidates(fn, info)
+            # direct candidates first (bottom-up expression order)
+            candidates.sort(
+                key=lambda c: 0 if c.kind is CandidateKind.DIRECT else 1
+            )
+            changed = False
+            with obs.span("pre.rewrite", candidates=len(candidates)):
+                for cand in candidates:
+                    result = SSAPRE(fn, info, cand, round_opts, loops).run()
+                    if result.changed or result.checks or result.invalidates:
+                        stats.results.append(result)
+                        changed = changed or result.changed
+            stats.rounds += 1
+            with obs.span("pre.verify"):
+                verify_function(fn, module)
         if not changed:
             break
     return stats

@@ -32,6 +32,9 @@ from repro.workloads.report import (
     figure10_table,
     figure11_table,
     figures_as_dict,
+    host_metrics_as_dict,
+    host_metrics_table,
+    matrix_table,
 )
 
 __all__ = [
@@ -52,4 +55,7 @@ __all__ = [
     "figure10_table",
     "figure11_table",
     "figures_as_dict",
+    "host_metrics_as_dict",
+    "host_metrics_table",
+    "matrix_table",
 ]

@@ -7,9 +7,10 @@ sweep; the exit status is 1 when any benchmark failed, 0 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.workloads.report import figure8_table
+from repro.workloads.report import host_metrics_as_dict, matrix_table
 from repro.workloads.runner import WorkloadFailure, run_all_benchmarks
 
 
@@ -24,12 +25,23 @@ def main(argv=None) -> int:
         default=None,
         help="write per-mode JSONL event traces under this directory",
     )
+    parser.add_argument(
+        "--report-json",
+        metavar="FILE",
+        default=None,
+        help="write per-benchmark counters + host metrics as JSON "
+        "(the shape python -m repro.obs.regress gates)",
+    )
     args = parser.parse_args(argv)
 
     failures: list[WorkloadFailure] = []
     results = run_all_benchmarks(trace_dir=args.trace_dir, failures=failures)
     if results:
-        print(figure8_table(results))
+        print(matrix_table(results))
+        if args.report_json:
+            with open(args.report_json, "w", encoding="utf-8") as fh:
+                json.dump(host_metrics_as_dict(results), fh, indent=2)
+                fh.write("\n")
     for failure in failures:
         print(f"FAILED {failure.format()}", file=sys.stderr)
     if failures:

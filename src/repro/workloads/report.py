@@ -138,3 +138,78 @@ def summary_table(results: dict[str, BenchmarkResult]) -> str:
         figure11_table(results),
     ]
     return "\n".join(parts)
+
+
+# -- host-side performance (this repo's harness, not a paper figure) ----
+
+
+def matrix_table(results: dict[str, BenchmarkResult]) -> str:
+    """Figure 8 extended with host-side columns: wall-clock ms and
+    simulated steps per host second for the speculative run.  The host
+    columns measure *this reproduction's* harness (the baseline ROADMAP
+    item 2 optimises against), not anything from the paper."""
+    lines = [
+        "Benchmark matrix (paper reductions + host-side performance)",
+        "(reductions vs -O3 baseline; host columns measure the harness)",
+        _rule(),
+        f"{'benchmark':<10}{'CPU cycles %':>14}{'data access %':>15}"
+        f"{'loads %':>9}{'wall ms':>10}{'steps/s':>12}",
+        _rule(),
+    ]
+    for name, r in results.items():
+        host = r.speculative.host_metrics
+        wall = host.get("wall_ms", 0.0)
+        steps = host.get("sim_steps_per_sec", 0.0)
+        lines.append(
+            f"{name:<10}{r.cycle_reduction_pct:>14.2f}"
+            f"{r.data_access_reduction_pct:>15.2f}"
+            f"{r.load_reduction_pct:>9.2f}"
+            f"{wall:>10.1f}{steps:>12,.0f}"
+        )
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def host_metrics_table(results: dict[str, BenchmarkResult]) -> str:
+    """Per-benchmark host metrics for both modes (wall ms, simulate ms,
+    steps/s) — the table EXPERIMENTS.md's host-perf baseline records."""
+    lines = [
+        "Host-side performance per benchmark (baseline | speculative)",
+        _rule(),
+        f"{'benchmark':<10}{'wall ms':>10}{'sim ms':>9}{'steps/s':>12}"
+        f"{'wall ms':>11}{'sim ms':>9}{'steps/s':>12}",
+        _rule(),
+    ]
+    for name, r in results.items():
+        cells = []
+        for mode in (r.baseline, r.speculative):
+            host = mode.host_metrics
+            cells.append(
+                (
+                    host.get("wall_ms", 0.0),
+                    host.get("simulate_wall_ms", 0.0),
+                    host.get("sim_steps_per_sec", 0.0),
+                )
+            )
+        (bw, bs, bt), (sw, ss, st) = cells
+        lines.append(
+            f"{name:<10}{bw:>10.1f}{bs:>9.1f}{bt:>12,.0f}"
+            f"{sw:>11.1f}{ss:>9.1f}{st:>12,.0f}"
+        )
+    lines.append(_rule())
+    return "\n".join(lines)
+
+
+def host_metrics_as_dict(results: dict[str, BenchmarkResult]) -> dict:
+    """``{bench: {mode: {"counters": ..., "host": ...}}}`` — the shape
+    ``repro.obs.regress`` gates (``--report-json`` writes this)."""
+    out: dict = {}
+    for name, r in results.items():
+        out[name] = {
+            mode.label: {
+                "counters": mode.counters.as_dict(),
+                "host": mode.host_metrics,
+            }
+            for mode in (r.baseline, r.speculative)
+        }
+    return out

@@ -97,6 +97,15 @@ class ModeResult:
         c = self.counters
         return c.retired_loads - c.retired_indirect_loads
 
+    @property
+    def host_metrics(self) -> dict:
+        """Host-side performance of this measurement (wall ms, simulate
+        wall ms, simulated steps per host second) — from the trace
+        context every compilation carries even when tracing is off."""
+        from repro.obs.report import build_host_metrics
+
+        return build_host_metrics(self.machine, self.compile_output.obs)
+
 
 @dataclass
 class BenchmarkResult:
@@ -299,11 +308,14 @@ def gate_results(
     update: bool = True,
 ):
     """Append fresh measurements to ``{history_dir}/{bench}.jsonl`` and
-    flag counter regressions against the latest recorded run.
+    flag regressions: simulated counters against the latest recorded
+    run, host wall-clock/throughput against the median of the last ≤3
+    (loose warn-then-fail bands — see ``repro.obs.regress``).
 
     Returns the :class:`repro.obs.GateReport`; ``report.failed`` means a
-    gating counter (cpu cycles) regressed past the threshold.  First
-    runs seed the history without flagging.
+    gating metric (cpu cycles, or host time past the fail band)
+    regressed past its threshold.  First runs seed the history without
+    flagging.
     """
     from repro.obs.regress import DEFAULT_THRESHOLD, gate_records, make_record
 
@@ -312,6 +324,10 @@ def gate_results(
             name,
             {
                 mode.label: mode.counters.as_dict()
+                for mode in (result.baseline, result.speculative)
+            },
+            {
+                mode.label: mode.host_metrics
                 for mode in (result.baseline, result.speculative)
             },
         )

@@ -1,0 +1,246 @@
+"""Run reports and host-metric gating.
+
+* ``build_metrics`` / ``format_summary`` round-trip on a real
+  compile + simulate, including the ``host`` section;
+* golden-file tests for the Chrome trace and collapsed-stack exporters
+  (hand-built deterministic spans — regenerate with
+  ``REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_report.py``);
+* ``compare_host_metrics`` band logic: direction, median baseline,
+  warn vs fail, and tolerance of pre-telemetry history records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import HostProfiler, Span, TraceContext, chrome_trace, collapsed_stacks
+from repro.obs.regress import (
+    Flag,
+    compare_host_metrics,
+    make_record,
+)
+from repro.obs.report import build_host_metrics, build_metrics, format_summary
+from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+PROGRAM = """
+int main(int n) {
+    int a = 7;
+    int *p = &a;
+    int s = 0;
+    int i = 0;
+    while (i < n) {
+        *p = i;
+        s = s + a;
+        i = i + 1;
+    }
+    return s;
+}
+"""
+
+
+# -- metrics round-trip on a real run ------------------------------------
+
+
+def _real_run():
+    obs = TraceContext(track_memory=True)
+    try:
+        options = CompilerOptions(
+            opt_level=OptLevel.O3, spec_mode=SpecMode.HEURISTIC, fallback=False
+        )
+        output = compile_source(PROGRAM, options, obs=obs)
+        host = HostProfiler()
+        result = output.run([80], host_profiler=host)
+    finally:
+        obs.close()
+    return output, result, obs, host
+
+
+def test_build_metrics_has_host_section():
+    output, result, obs, host = _real_run()
+    metrics = build_metrics(output, result, obs, host=host)
+    assert metrics["counters"]["instructions"] > 0
+    assert "phase_wall_ms" in metrics and "phase_mem_kb" in metrics
+    h = metrics["host"]
+    assert h["wall_ms"] > 0
+    assert h["simulate_wall_ms"] > 0
+    assert h["sim_steps_per_sec"] > 0
+    assert h["peak_kb"] > 0
+    assert h["profile"]["total_ms"] > 0
+    assert any(k.startswith("sim.op.") for k in h["profile"]["buckets"])
+    json.dumps(metrics)  # the whole dict stays JSON-ready
+
+
+def test_format_summary_renders_host_line():
+    output, result, obs, host = _real_run()
+    text = format_summary(build_metrics(output, result, obs, host=host))
+    assert "-- host" in text
+    assert "steps/s=" in text
+    assert "peak " in text  # per-phase KiB column
+    assert "profiled" in text and "buckets" in text
+
+
+def test_build_host_metrics_without_anything():
+    assert build_host_metrics(None, None) == {}
+    assert build_host_metrics(None, TraceContext()) == {}
+
+
+# -- exporter golden files -----------------------------------------------
+
+
+def _synthetic_obs() -> TraceContext:
+    obs = TraceContext(record_spans=False)  # keep it inert; we fill spans
+    obs.spans = [
+        Span(1, None, "frontend", 0.0, wall_ms=2.0),
+        Span(3, 2, "pre.fn", 2.5, wall_ms=2.0, fields={"function": "main"}),
+        Span(2, None, "pre", 2.0, wall_ms=3.0, child_wall_ms=2.0),
+        Span(
+            4, None, "simulate", 5.0, wall_ms=10.0, mem_kb=12.5,
+            child_wall_ms=0.0,
+        ),
+    ]
+    return obs
+
+
+def _synthetic_host() -> HostProfiler:
+    hp = HostProfiler()
+    hp.add("sim.issue", 4_000_000, count=100)
+    hp.add("sim.op.Ld", 2_000_000, count=50)
+    hp.add("sim.cache", 1_000_000, count=25)
+    return hp
+
+
+def _check_golden(name: str, text: str) -> None:
+    path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("REGEN_GOLDEN"):
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    with open(path, "r", encoding="utf-8") as fh:
+        assert text == fh.read(), f"golden mismatch: {name}"
+
+
+def test_chrome_trace_golden():
+    doc = chrome_trace(_synthetic_obs(), _synthetic_host())
+    _check_golden(
+        "chrome_trace.json",
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def test_flamegraph_golden():
+    lines = collapsed_stacks(_synthetic_obs(), _synthetic_host())
+    _check_golden("flamegraph.txt", "\n".join(lines) + "\n")
+
+
+def test_synthetic_flamegraph_accounting():
+    lines = collapsed_stacks(_synthetic_obs(), _synthetic_host())
+    values = {ln.rsplit(" ", 1)[0]: int(ln.rsplit(" ", 1)[1]) for ln in lines}
+    # host total is 7 ms; simulate self (10 ms) shrinks to 3 ms
+    assert values["simulate"] == 3000
+    assert values["simulate;sim.issue"] == 4000
+    assert values["pre;pre.fn"] == 2000
+    assert values["pre"] == 1000  # 3 ms wall minus 2 ms child
+
+
+# -- host-metric gating --------------------------------------------------
+
+
+def _rec(bench: str, wall: float, steps: float) -> dict:
+    return {
+        "bench": bench,
+        "modes": {
+            "speculative": {
+                "cpu_cycles": 100,
+                "host": {"wall_ms": wall, "sim_steps_per_sec": steps},
+            }
+        },
+    }
+
+
+def test_host_gate_quiet_inside_bands():
+    history = [_rec("gzip", 100.0, 500_000.0)]
+    current = _rec("gzip", 140.0, 400_000.0)  # +40% wall, -20% steps
+    assert compare_host_metrics(history, current) == []
+
+
+def test_host_gate_warn_then_fail_wall():
+    history = [_rec("gzip", 100.0, 500_000.0)]
+    warn = compare_host_metrics(history, _rec("gzip", 180.0, 500_000.0))
+    assert [f.severity for f in warn] == ["warn"]
+    assert warn[0].counter == "wall_ms"
+    fail = compare_host_metrics(history, _rec("gzip", 350.0, 500_000.0))
+    assert [f.severity for f in fail] == ["fail"]
+    assert "+250.0%" in str(fail[0])
+
+
+def test_host_gate_throughput_direction():
+    history = [_rec("gzip", 100.0, 600_000.0)]
+    # throughput *up* is never a regression, even by a lot
+    assert compare_host_metrics(
+        history, _rec("gzip", 100.0, 2_000_000.0)
+    ) == []
+    # 50% drop warns (past 0.33), 80% drop fails (past 0.67)
+    warn = compare_host_metrics(history, _rec("gzip", 100.0, 300_000.0))
+    assert [(f.counter, f.severity) for f in warn] == [
+        ("sim_steps_per_sec", "warn")
+    ]
+    fail = compare_host_metrics(history, _rec("gzip", 100.0, 120_000.0))
+    assert [f.severity for f in fail] == ["fail"]
+
+
+def test_host_gate_median_baseline_resists_outlier():
+    # one slow outlier in the window must not drag the baseline up
+    history = [
+        _rec("gzip", 100.0, 500_000.0),
+        _rec("gzip", 400.0, 100_000.0),  # noisy neighbour run
+        _rec("gzip", 110.0, 480_000.0),
+    ]
+    # median wall = 110, median steps = 480k: a 120 ms run is fine
+    assert compare_host_metrics(history, _rec("gzip", 120.0, 450_000.0)) == []
+    # and the fail band is judged against the median, not the outlier
+    flags = compare_host_metrics(history, _rec("gzip", 360.0, 450_000.0))
+    assert [f.severity for f in flags] == ["fail"]
+    assert flags[0].previous == 110.0
+
+
+def test_host_gate_ignores_pre_telemetry_history():
+    legacy = {"bench": "gzip", "modes": {"speculative": {"cpu_cycles": 90}}}
+    current = _rec("gzip", 500.0, 10_000.0)
+    assert compare_host_metrics([legacy], current) == []
+    # mixed history: only records with host data feed the median
+    flags = compare_host_metrics(
+        [legacy, _rec("gzip", 100.0, 500_000.0)], current
+    )
+    assert {f.severity for f in flags} == {"fail"}
+    assert {f.counter for f in flags} == {"wall_ms", "sim_steps_per_sec"}
+
+
+def test_make_record_embeds_host_subset():
+    rec = make_record(
+        "gzip",
+        {"speculative": {"cpu_cycles": 10, "instructions": 5}},
+        {
+            "speculative": {
+                "wall_ms": 12.5,
+                "sim_steps_per_sec": 1000.0,
+                "simulate_wall_ms": 9.0,  # not tracked -> dropped
+                "profile": {"total_ms": 9.0},  # never persisted
+            }
+        },
+    )
+    host = rec["modes"]["speculative"]["host"]
+    assert host == {"wall_ms": 12.5, "sim_steps_per_sec": 1000.0}
+    json.dumps(rec)
+
+
+def test_flag_str_signs():
+    up = Flag("b", "m", "wall_ms", 100.0, 180.0, "warn")
+    assert "(+80.0%)" in str(up)
+    down = Flag("b", "m", "sim_steps_per_sec", 500.0, 250.0, "fail")
+    assert "(-50.0%)" in str(down)
+    assert str(down).startswith("REGRESSION")

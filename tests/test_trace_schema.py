@@ -109,3 +109,12 @@ def test_profile_events_documented():
     for name in ("profile.line", "profile.site"):
         assert name in trace_docstring_events()
         assert name in design_md_events()
+
+
+def test_span_events_documented():
+    """The hierarchical-span events are in both tables (regression
+    anchor for the telemetry PR's schema extension)."""
+    for name in ("span.begin", "span.end"):
+        assert name in trace_docstring_events()
+        assert name in design_md_events()
+        assert name in emitted_events()
