@@ -16,7 +16,7 @@ from repro.machine.cpu import MachineConfig
 from repro.workloads import run_benchmark
 from repro.workloads.programs import BENCHMARKS
 
-from conftest import publish_table
+from conftest import publish_table, record_benchmark
 
 SIZES = (2, 4, 8, 16, 32, 64)
 #: check-heavy workloads where capacity pressure is visible
@@ -35,6 +35,10 @@ def sweep():
         rows[name] = {}
         for entries in SIZES:
             r = _run_with_alat_entries(name, entries)
+            record_benchmark(
+                r, suite="ablation:alat_size",
+                config={"alat_entries": entries},
+            )
             c = r.speculative.counters
             rows[name][entries] = (
                 c.check_failures,

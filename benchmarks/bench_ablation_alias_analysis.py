@@ -24,7 +24,7 @@ from repro.ir.interp import run_module
 from repro.minic import compile_to_ir
 from repro.workloads.programs import get_workload
 
-from conftest import publish_table
+from conftest import publish_table, record_counters
 
 WORKLOADS = ("gzip", "vpr", "parser", "vortex", "twolf")
 
@@ -44,6 +44,10 @@ def _gain(name: str, kind: AliasAnalysisKind) -> float:
         )
         res = out.run(list(w.ref_args))
         assert res.output == ref.output, f"{name}/{kind.value}/{mode}: diverged"
+        record_counters(
+            "ablation:alias_analysis", name, mode.value, res.counters,
+            config={"alias_analysis": kind.value},
+        )
         cycles[mode] = res.counters.cpu_cycles
     return 100.0 * (cycles[SpecMode.NONE] - cycles[SpecMode.PROFILE]) / cycles[
         SpecMode.NONE

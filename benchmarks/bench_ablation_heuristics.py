@@ -17,7 +17,7 @@ from repro.minic import compile_to_ir
 from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source
 from repro.workloads.programs import get_workload
 
-from conftest import publish_table
+from conftest import publish_table, record_counters
 
 WORKLOADS = ("gzip", "vpr", "parser", "vortex", "twolf", "art")
 
@@ -38,6 +38,9 @@ def rows():
             )
             res = out.run(list(w.ref_args))
             assert res.output == ref.output, f"{name}/{mode}: diverged"
+            record_counters(
+                "ablation:heuristics", name, mode.value, res.counters
+            )
             counters[mode] = res.counters
         out_rows[name] = counters
     return out_rows

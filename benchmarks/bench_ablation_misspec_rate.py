@@ -17,7 +17,7 @@ import pytest
 
 from repro.pipeline import CompilerOptions, OptLevel, SpecMode, compile_source, run_program
 
-from conftest import publish_table
+from conftest import publish_table, record_counters
 
 #: ``main(n)``: the pointer p (promoted, checked with chk.a after
 #: cascade promotion) is really redirected when i % RATE == 0 beyond
@@ -71,6 +71,10 @@ def _measure(rate: int):
         )
         res = out.run(REF)
         assert res.output == ref.output, f"rate={rate} mode={mode}: diverged"
+        record_counters(
+            "ablation:misspec_rate", "misspec_kernel", mode.value,
+            res.counters, config={"alias_every": rate, "rounds": 2},
+        )
         rows[mode] = res.counters
     base, spec = rows[SpecMode.NONE], rows[SpecMode.PROFILE]
     gain = 100.0 * (base.cpu_cycles - spec.cpu_cycles) / base.cpu_cycles

@@ -18,7 +18,7 @@ from repro.workloads.programs import BENCHMARKS, get_workload
 from repro.ir.interp import run_module
 from repro.minic import compile_to_ir
 
-from conftest import publish_table
+from conftest import publish_table, record_counters
 
 WORKLOADS = ("gzip", "vpr", "parser", "vortex", "art")
 
@@ -46,6 +46,14 @@ def pairs():
         soft = _measure(name, SpecMode.SOFTWARE)
         assert alat.output == ref.output, f"{name}: ALAT build diverged"
         assert soft.output == ref.output, f"{name}: software build diverged"
+        record_counters(
+            "ablation:softcheck", name, SpecMode.PROFILE.value,
+            alat.counters, config={"checks": "alat"},
+        )
+        record_counters(
+            "ablation:softcheck", name, SpecMode.SOFTWARE.value,
+            soft.counters, config={"checks": "software"},
+        )
         rows[name] = (alat.counters, soft.counters)
     return rows
 

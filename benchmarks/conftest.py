@@ -19,6 +19,14 @@ against the previous record, host wall-clock/throughput against the
 median of the last ≤3 (or point it at an alternate history directory).
 The report is echoed at session end; flags never fail the figure tests
 themselves — CI gates separately via ``python -m repro.obs.regress``.
+
+Results store: set ``REPRO_BENCH_STORE=1`` (or a directory path) to
+ingest every measurement into the experiment results store
+(``benchmarks/store`` by default) — the matrix runs as ``suite=matrix``
+run records, every ablation sweep point as ``suite=ablation:<name>``,
+and every published figure table as a ``kind=table`` record, so
+``python -m repro.obs.store tables`` can regenerate everything in
+``benchmarks/results/`` from stored runs alone.
 """
 
 from __future__ import annotations
@@ -30,17 +38,95 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 HISTORY_DIR = pathlib.Path(__file__).parent / "history"
+STORE_DIR = pathlib.Path(__file__).parent / "store"
 
 _tables: dict[str, str] = {}
 _gate_report = None
+_store = None
+_store_batch = None
+
+
+def bench_store():
+    """The session's :class:`repro.obs.store.ResultsStore`, or None
+    when ``REPRO_BENCH_STORE`` is unset.  All records ingested in one
+    pytest session share one batch id (one sweep)."""
+    global _store, _store_batch
+    spec = os.environ.get("REPRO_BENCH_STORE")
+    if not spec:
+        return None
+    if _store is None:
+        from repro.obs.store import ResultsStore, new_batch_id
+
+        root = STORE_DIR if spec == "1" else pathlib.Path(spec)
+        _store = ResultsStore(root)
+        _store_batch = new_batch_id()
+    return _store
+
+
+def record_benchmark(result, suite: str, config=None) -> None:
+    """Ingest one :class:`BenchmarkResult` (all modes) as run records;
+    no-op when the store is disabled."""
+    store = bench_store()
+    if store is None:
+        return
+    from repro.workloads.runner import store_records
+
+    store.ingest_many(
+        store_records(
+            {result.workload.name: result},
+            suite=suite,
+            batch=_store_batch,
+            config=config,
+        )
+    )
+
+
+def record_counters(suite: str, bench: str, mode: str, counters,
+                    config=None) -> None:
+    """Ingest one bare counter measurement (ablations that run the
+    pipeline directly, without a BenchmarkResult)."""
+    store = bench_store()
+    if store is None:
+        return
+    from repro.obs.store import make_record
+
+    payload = counters.as_dict() if hasattr(counters, "as_dict") else dict(counters)
+    store.ingest(
+        make_record(
+            bench,
+            mode,
+            {"counters": payload},
+            suite=suite,
+            config=config,
+            batch=_store_batch,
+        )
+    )
 
 
 def publish_table(name: str, table: str) -> None:
-    """Save a figure table to disk and queue it for terminal echo."""
+    """Save a figure table to disk and queue it for terminal echo.
+    With the store enabled, the rendered text is also recorded as a
+    ``kind=table`` record so the .txt is reproducible from the store."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(table + "\n")
     _tables[name] = table
+    store = bench_store()
+    if store is not None:
+        from repro.obs.store import make_record
+
+        store.ingest(
+            make_record(
+                name,
+                "text",
+                {"table": {"chars": len(table),
+                           "lines": table.count("\n") + 1,
+                           "text": table}},
+                kind="table",
+                suite="tables",
+                batch=_store_batch,
+            )
+        )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -78,7 +164,9 @@ def all_results():
     if os.environ.get("REPRO_BENCH_TRACE"):
         trace_dir = str(RESULTS_DIR / "traces")
 
-    results = run_all_benchmarks(trace_dir=trace_dir)
+    results = run_all_benchmarks(
+        trace_dir=trace_dir, profile_sites=bench_store() is not None
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "figures.json").write_text(
         json.dumps(figures_as_dict(results), indent=2) + "\n"
@@ -101,5 +189,13 @@ def all_results():
         history_dir = str(HISTORY_DIR) if history == "1" else history
         global _gate_report
         _gate_report = gate_results(results, history_dir)
+
+    store = bench_store()
+    if store is not None:
+        from repro.workloads.runner import store_records
+
+        store.ingest_many(
+            store_records(results, suite="matrix", batch=_store_batch)
+        )
 
     return results

@@ -49,18 +49,27 @@ from repro.obs.trace import NULL_TRACE, Span, TraceContext
 #: re-exporting lazily keeps runpy from double-importing it.
 _REGRESS_EXPORTS = ("GateReport", "gate_metrics", "gate_records", "make_record")
 
+#: same deal for the results store (``python -m repro.obs.store``)
+_STORE_EXPORTS = ("ResultsStore", "StoreError")
+
 
 def __getattr__(name: str):
     if name in _REGRESS_EXPORTS:
         from repro.obs import regress
 
         return getattr(regress, name)
+    if name in _STORE_EXPORTS:
+        from repro.obs import store
+
+        return getattr(store, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "GateReport",
     "HostProfiler",
+    "ResultsStore",
+    "StoreError",
     "JsonlSink",
     "MemorySink",
     "NULL_SINK",

@@ -1,10 +1,36 @@
 """Benchmark history + regression gate.
 
-Every gated run appends one JSON record per benchmark to
-``benchmarks/history/<bench>.jsonl`` and compares the fresh numbers
-against the most recent recorded ones.  A counter that moved past its
-threshold raises a flag; cycle-count regressions are *failures* (CI
-gates on them), everything else is a warning.
+Every gated run appends one record per benchmark to the history backend
+and compares the fresh numbers against the recorded baseline.  A
+counter that moved past its threshold raises a flag; cycle-count
+regressions are *failures* (CI gates on them), everything else is a
+warning.
+
+**Baseline windows** (deliberately different per metric family — see
+DESIGN §13/§14):
+
+* simulated counters gate against the **latest record alone**
+  (:data:`COUNTER_BASELINE_WINDOW` = 1) — the simulator is
+  deterministic, so the newest accepted record *is* the truth;
+* host metrics gate against the **median of the last
+  ≤**:data:`HOST_BASELINE_WINDOW` records — host wall time is noisy,
+  and a median over a short window keeps one slow CI neighbour from
+  poisoning the baseline.
+
+**History backends.**  The classic backend is per-bench JSONL under
+``benchmarks/history/`` (:class:`JsonlHistory`).  The results store
+(``repro.obs.store``) can serve the same role through
+:class:`StoreHistory`, which rebuilds the per-bench record sequence
+from stored run records — gating decisions and exit codes are identical
+for identical record sequences (``python -m repro.obs.store
+import-history`` migrates old JSONL history in).
+
+**Retention.**  Both backends grow by one record per gated sweep and
+are never rewritten by the gate itself; ``--prune N`` (or
+``backend.prune(N)``) keeps the newest N records per benchmark —
+anything older than the largest baseline window plus audit margin is
+dead weight.  The recommended policy is ``N >= 10`` (CI uses the
+default of keeping everything; prune in a scheduled job, not per run).
 
 A benchmark with no history yet cannot be gated.  The CLI treats that
 as an error (exit :data:`EXIT_NO_HISTORY`) so a misconfigured history
@@ -15,8 +41,9 @@ Also usable as a CLI against the benchmark harness's ``metrics.json``::
 
     python -m repro.obs.regress \
         --metrics benchmarks/results/metrics.json \
-        --history benchmarks/history [--threshold 0.10] \
-        [--no-update] [--warn-only] [--allow-seed]
+        --history benchmarks/history [--store benchmarks/store] \
+        [--threshold 0.10] [--no-update] [--warn-only] [--allow-seed] \
+        [--prune N]
 """
 
 from __future__ import annotations
@@ -56,6 +83,15 @@ HOST_METRICS: tuple[tuple[str, int, float, float], ...] = (
 
 #: how many trailing history records feed the host-metric median
 HOST_BASELINE_WINDOW = 3
+
+#: how many trailing history records feed the *counter* baseline.
+#: Kept at 1 on purpose, and asymmetric with HOST_BASELINE_WINDOW:
+#: simulated counters are deterministic, so the latest accepted record
+#: is exact and a median would only dilute a real regression that
+#: slipped past one gate; host metrics are noisy, so they median over
+#: the wider window above.  Widen this only if the simulator ever
+#: becomes nondeterministic.
+COUNTER_BASELINE_WINDOW = 1
 
 DEFAULT_THRESHOLD = 0.10
 
@@ -113,6 +149,91 @@ def append_record(history_dir: str, record: dict) -> None:
     with open(history_path(history_dir, record["bench"]), "a",
               encoding="utf-8") as fh:
         fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# -- history backends ---------------------------------------------------
+
+
+class JsonlHistory:
+    """The classic backend: one ``<bench>.jsonl`` per benchmark."""
+
+    def __init__(self, history_dir: str) -> None:
+        self.history_dir = history_dir
+
+    def load(self, bench: str) -> list[dict]:
+        return load_history(self.history_dir, bench)
+
+    def append(self, record: dict) -> None:
+        append_record(self.history_dir, record)
+
+    def prune(self, keep: int) -> dict[str, int]:
+        """Keep the newest ``keep`` records per benchmark; returns
+        ``{bench: removed}``.  Files are rewritten via a temp file +
+        atomic rename so a crash mid-prune cannot lose history."""
+        if keep < 1:
+            raise ValueError(f"prune keep must be >= 1, got {keep}")
+        removed: dict[str, int] = {}
+        if not os.path.isdir(self.history_dir):
+            return removed
+        for name in sorted(os.listdir(self.history_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            bench = name[: -len(".jsonl")]
+            history = self.load(bench)
+            if len(history) <= keep:
+                continue
+            path = history_path(self.history_dir, bench)
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in history[-keep:]:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            removed[bench] = len(history) - keep
+        return removed
+
+
+class StoreHistory:
+    """History served by the results store (``repro.obs.store``).
+
+    Run records grouped by their ``batch`` id reconstruct exactly the
+    per-sweep record sequence the JSONL backend would hold, so the gate
+    produces identical flags and exit codes over identical data.
+    Appends write per-mode run records (suite ``history``) back into
+    the store.
+    """
+
+    def __init__(self, store) -> None:
+        # ``store`` is a ResultsStore or a path; resolved lazily so the
+        # regress module stays importable without the store package.
+        from repro.obs.store import ResultsStore
+
+        self.store = (
+            store if isinstance(store, ResultsStore) else ResultsStore(store)
+        )
+
+    def load(self, bench: str) -> list[dict]:
+        from repro.obs.store.history import store_history
+
+        return store_history(self.store, bench)
+
+    def append(self, record: dict) -> None:
+        from repro.obs.store.history import append_history_record
+
+        append_history_record(self.store, record)
+
+    def prune(self, keep: int) -> dict[str, int]:
+        report = self.store.prune(keep, kinds={"run"})
+        return {
+            "/".join(group): n for group, n in report.by_group.items()
+        }
+
+
+def _as_backend(history):
+    """``str`` paths mean the classic JSONL backend (the historical
+    call signature); anything else must already be a backend."""
+    return JsonlHistory(history) if isinstance(history, str) else history
 
 
 def make_record(
@@ -232,7 +353,7 @@ class GateReport:
 
 
 def gate_records(
-    history_dir: str,
+    history,
     records: dict[str, dict],
     threshold: float = DEFAULT_THRESHOLD,
     update: bool = True,
@@ -240,39 +361,47 @@ def gate_records(
 ) -> GateReport:
     """Gate a set of fresh per-benchmark records against history.
 
-    Benchmarks with history are compared to their latest record and then
-    appended (unless ``update`` is off — e.g. a CI dry run).  First-run
-    benchmarks are never flagged; with ``seed`` they are recorded as the
-    initial history, without it they are only reported in ``seeded`` so
-    the caller can refuse to gate them.
+    ``history`` is a directory path (classic JSONL backend) or a
+    backend object (:class:`JsonlHistory` / :class:`StoreHistory`).
+    Benchmarks with history are compared — counters against the latest
+    record (window of :data:`COUNTER_BASELINE_WINDOW` = 1, exact
+    because simulated), host metrics against the median of the last
+    ≤:data:`HOST_BASELINE_WINDOW` records (noisy) — and then the fresh
+    record is appended (unless ``update`` is off — e.g. a CI dry run).
+    First-run benchmarks are never flagged; with ``seed`` they are
+    recorded as the initial history, without it they are only reported
+    in ``seeded`` so the caller can refuse to gate them.
     """
+    backend = _as_backend(history)
     flags: list[Flag] = []
     seeded: list[str] = []
     checked: list[str] = []
     for bench, record in sorted(records.items()):
-        history = load_history(history_dir, bench)
-        if not history:
+        history_records = backend.load(bench)
+        if not history_records:
             seeded.append(bench)
             if update and seed:
-                append_record(history_dir, record)
+                backend.append(record)
         else:
             checked.append(bench)
-            flags.extend(compare_records(history[-1], record, threshold))
-            flags.extend(compare_host_metrics(history, record))
+            baseline = history_records[-COUNTER_BASELINE_WINDOW]
+            flags.extend(compare_records(baseline, record, threshold))
+            flags.extend(compare_host_metrics(history_records, record))
             if update:
-                append_record(history_dir, record)
+                backend.append(record)
     return GateReport(flags, seeded, checked)
 
 
 def gate_metrics(
-    history_dir: str,
+    history,
     metrics: dict,
     threshold: float = DEFAULT_THRESHOLD,
     update: bool = True,
     seed: bool = True,
 ) -> GateReport:
     """Gate the benchmark harness's ``metrics.json`` shape:
-    ``{bench: {mode: {"counters": {...}, "host": {...}, ...}}}``."""
+    ``{bench: {mode: {"counters": {...}, "host": {...}, ...}}}``.
+    ``history`` is a directory path or a history backend."""
     records = {
         bench: make_record(
             bench,
@@ -287,7 +416,7 @@ def gate_metrics(
         )
         for bench, per_mode in metrics.items()
     }
-    return gate_records(history_dir, records, threshold, update, seed)
+    return gate_records(history, records, threshold, update, seed)
 
 
 # -- CLI ----------------------------------------------------------------
@@ -307,8 +436,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "--history",
-        required=True,
-        help="history directory (benchmarks/history)",
+        help="history directory (benchmarks/history); the classic "
+        "JSONL backend",
+    )
+    parser.add_argument(
+        "--store",
+        help="results-store directory (benchmarks/store); gate through "
+        "the store instead of per-bench JSONL history.  Identical "
+        "gating: same flags and exit codes over the same record "
+        "sequence (migrate old history in with "
+        "`python -m repro.obs.store import-history`).",
     )
     parser.add_argument(
         "--threshold",
@@ -333,22 +470,51 @@ def main(argv: Optional[list[str]] = None) -> int:
         "baseline instead of failing with exit code "
         f"{EXIT_NO_HISTORY}",
     )
+    parser.add_argument(
+        "--prune",
+        type=int,
+        metavar="N",
+        help="after gating, keep only the newest N history records per "
+        "benchmark (retention; see module docstring)",
+    )
     args = parser.parse_args(argv)
+    if not args.history and not args.store:
+        parser.error("one of --history or --store is required")
+    if args.history and args.store:
+        parser.error("--history and --store are mutually exclusive")
+    backend = (
+        StoreHistory(args.store) if args.store else JsonlHistory(args.history)
+    )
 
     with open(args.metrics, "r", encoding="utf-8") as fh:
         metrics = json.load(fh)
     report = gate_metrics(
-        args.history, metrics, threshold=args.threshold,
+        backend, metrics, threshold=args.threshold,
         update=not args.no_update, seed=args.allow_seed,
     )
     print(report.format())
+    if args.prune:
+        removed = backend.prune(args.prune)
+        total = sum(removed.values())
+        print(
+            f"prune: removed {total} record(s) beyond the newest "
+            f"{args.prune} per benchmark"
+            + (
+                " (" + ", ".join(
+                    f"{b}: {n}" for b, n in sorted(removed.items())
+                ) + ")"
+                if removed else ""
+            )
+        )
     if report.seeded and not args.allow_seed:
         print(
             "error: no benchmark history for: "
             + ", ".join(report.seeded)
-            + f"\n  nothing to gate against in '{args.history}' — if this "
-            "is a deliberate first run, pass --allow-seed to record the "
-            "baseline; otherwise check the --history path.",
+            + "\n  nothing to gate against in "
+            f"'{args.store or args.history}' — if this is a deliberate "
+            "first run, pass --allow-seed to record the baseline; "
+            f"otherwise check the {'--store' if args.store else '--history'} "
+            "path.",
             file=sys.stderr,
         )
         return EXIT_NO_HISTORY

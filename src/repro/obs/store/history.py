@@ -1,0 +1,134 @@
+"""Bridge between the results store and ``repro.obs.regress`` history.
+
+The regression gate predates the store and speaks *history records*::
+
+    {"bench": ..., "timestamp": ..., "modes": {mode: {counter: value,
+                                                      "host": {...}}}}
+
+one per gated sweep, appended to ``benchmarks/history/<bench>.jsonl``.
+The store speaks *run records* — one per (bench, mode) measurement,
+grouped into sweeps by their ``batch`` id.  This module converts both
+ways so the gate can read its baseline window through the store and
+old JSONL history can be migrated in (``python -m repro.obs.store
+import-history``) without changing a single gating decision:
+
+* history record → per-mode run records sharing one batch
+  (:func:`history_record_to_run_records`, :func:`append_history_record`,
+  :func:`import_history`);
+* run records → history records, batches ordered oldest-first
+  (:func:`store_history`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.store.core import (
+    ResultsStore,
+    make_record,
+    new_batch_id,
+)
+
+#: suite tag on run records that came from (or stand in for) the
+#: regression-gate history
+HISTORY_SUITE = "history"
+
+
+def history_record_to_run_records(
+    record: dict,
+    batch: Optional[str] = None,
+    suite: str = HISTORY_SUITE,
+) -> list[dict]:
+    """One gate history record as per-mode run records (shared batch)."""
+    batch = batch or new_batch_id()
+    out = []
+    for mode, entry in record.get("modes", {}).items():
+        counters = {k: v for k, v in entry.items() if k != "host"}
+        metrics: dict = {"counters": counters}
+        if entry.get("host"):
+            metrics["host"] = dict(entry["host"])
+        out.append(
+            make_record(
+                record["bench"],
+                mode,
+                metrics,
+                kind="run",
+                suite=suite,
+                batch=batch,
+                timestamp=record.get("timestamp"),
+                git_rev=None,
+            )
+        )
+    return out
+
+
+def append_history_record(
+    store: ResultsStore, record: dict, obs=None
+) -> list[str]:
+    """Ingest one fresh gate record (the store-backed ``update`` path)."""
+    return store.ingest_many(
+        history_record_to_run_records(record), obs=obs
+    )
+
+
+def import_history(store: ResultsStore, history_dir: str, obs=None) -> int:
+    """Migrate every ``benchmarks/history/*.jsonl`` record into the
+    store (timestamps preserved, one batch per original record).
+    Returns the number of run records ingested."""
+    import json
+
+    count = 0
+    if not os.path.isdir(history_dir):
+        return 0
+    for name in sorted(os.listdir(history_dir)):
+        if not name.endswith(".jsonl"):
+            continue
+        path = os.path.join(history_dir, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                count += len(
+                    store.ingest_many(
+                        history_record_to_run_records(record), obs=obs
+                    )
+                )
+    return count
+
+
+def store_history(store: ResultsStore, bench: str) -> list[dict]:
+    """The gate's history view of one benchmark, rebuilt from run
+    records: batches become history records, ordered oldest-first.
+
+    Any ``kind="run"`` record for the benchmark participates, whatever
+    suite produced it — a matrix sweep and a CLI run are both
+    observations of the benchmark — so gating through the store sees
+    the same sequence the JSONL history would have accumulated.
+    """
+    batches: dict[str, dict] = {}
+    order: list[str] = []
+    for rec in store.records():
+        if rec.get("kind") != "run" or rec.get("bench") != bench:
+            continue
+        batch = rec.get("batch", rec.get("run_id", "?"))
+        if batch not in batches:
+            batches[batch] = {
+                "bench": bench,
+                "timestamp": rec.get("timestamp", 0.0),
+                "modes": {},
+            }
+            order.append(batch)
+        group = batches[batch]
+        group["timestamp"] = max(
+            group["timestamp"], rec.get("timestamp", 0.0)
+        )
+        metrics = rec.get("metrics", {})
+        entry = dict(metrics.get("counters", {}))
+        if metrics.get("host"):
+            entry["host"] = dict(metrics["host"])
+        group["modes"][rec.get("mode", "?")] = entry
+    history = [batches[b] for b in order]
+    history.sort(key=lambda r: r["timestamp"])
+    return history

@@ -1,0 +1,368 @@
+"""Self-contained HTML dashboard over the results store.
+
+One file, zero external assets: inline CSS (light + dark via
+``prefers-color-scheme``), inline SVG sparklines, plain HTML tables.
+Sections:
+
+* stat tiles — store-wide totals (records, benchmarks, sweeps, rev);
+* baseline vs speculative — latest per-benchmark delta table
+  (cycle / data-access / load reductions, eviction and check-failure
+  counts for the speculative run);
+* trends — per-workload sparklines of a simulated counter and a host
+  metric across stored runs (the cross-run question the store answers);
+* ALAT site heatmap — collision + eviction pressure per promotion site
+  across the last runs (rows: bench/site, columns: runs).
+
+Colors follow the repo's dataviz conventions: one categorical blue for
+series marks, a single-hue blue ramp for the heatmap magnitude, text in
+ink tokens (never the series color), deltas in the reserved good /
+critical steps with explicit signs so color never carries meaning
+alone.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import time
+from typing import Optional
+
+from repro.obs.store.core import ResultsStore
+from repro.obs.store.query import get_metric, latest_matrix, runs
+
+#: single-hue sequential ramp (light→dark blue), heatmap magnitude
+_RAMP = (
+    "#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5",
+    "#256abf", "#1c5cab", "#104281", "#0d366b",
+)
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --delta-good: #006300; --delta-bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --delta-good: #0ca30c; --delta-bad: #e66767;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+table {
+  border-collapse: collapse; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px;
+}
+th, td {
+  padding: 5px 12px; text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+th {
+  color: var(--ink-2); font-weight: 600; font-size: 12px;
+  border-bottom: 1px solid var(--axis);
+}
+td:first-child, th:first-child { text-align: left; }
+tr + tr td { border-top: 1px solid var(--grid); }
+.good { color: var(--delta-good); }
+.bad { color: var(--delta-bad); }
+.muted { color: var(--ink-3); }
+.spark-label { color: var(--ink-2); font-size: 12px; }
+.cell { min-width: 34px; }
+.hm td { padding: 3px 6px; font-size: 11px; text-align: center; }
+.hm td.rowlabel { text-align: left; font-size: 12px; padding-right: 10px; }
+.legend { color: var(--ink-2); font-size: 12px; margin-top: 6px; }
+.swatch {
+  display: inline-block; width: 14px; height: 11px;
+  border: 1px solid var(--border); vertical-align: -1px;
+}
+footer { color: var(--ink-3); font-size: 12px; margin-top: 32px; }
+"""
+
+
+def _esc(value) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _spark_svg(
+    values: list[float], width: int = 200, height: int = 40,
+    label: Optional[str] = None,
+) -> str:
+    """Inline SVG sparkline: 2px line, dot on the latest point, native
+    ``<title>`` tooltip listing the values."""
+    if not values:
+        return '<span class="muted">no data</span>'
+    pad = 5
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / (n - 1) if n > 1 else 0.5)
+        y = pad + (height - 2 * pad) * (1.0 - (v - lo) / span)
+        return round(x, 1), round(y, 1)
+
+    points = " ".join(f"{x},{y}" for x, y in (xy(i, v) for i, v in enumerate(values)))
+    lx, ly = xy(n - 1, values[-1])
+    tip = _esc(label or "") + (": " if label else "") + ", ".join(
+        f"{v:,.0f}" for v in values
+    )
+    line = (
+        f'<polyline points="{points}" fill="none" stroke="var(--series-1)" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        if n > 1 else ""
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="{tip}"><title>{tip}</title>'
+        f"{line}"
+        f'<circle cx="{lx}" cy="{ly}" r="3.5" fill="var(--series-1)" '
+        f'stroke="var(--surface-1)" stroke-width="2"/></svg>'
+    )
+
+
+def _ramp_cell(value: float, peak: float) -> str:
+    """Heatmap cell: blue ramp background scaled to the section peak,
+    the value printed in the cell (ink flips on dark steps)."""
+    if peak <= 0 or value <= 0:
+        return '<td class="cell muted">0</td>'
+    idx = min(len(_RAMP) - 1, int(value / peak * (len(_RAMP) - 1) + 0.5))
+    ink = "#0b0b0b" if idx < 4 else "#ffffff"
+    return (
+        f'<td class="cell" style="background:{_RAMP[idx]};color:{ink}" '
+        f'title="{value:,.0f}">{value:,.0f}</td>'
+    )
+
+
+def _delta_td(pct: float, *, higher_is_better: bool = True) -> str:
+    good = pct > 0 if higher_is_better else pct < 0
+    cls = "good" if good else ("bad" if pct != 0 else "muted")
+    return f'<td class="{cls}">{pct:+.2f}%</td>'
+
+
+def _tile(value, key) -> str:
+    return (
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(key)}</div></div>'
+    )
+
+
+def render_dashboard(
+    store: ResultsStore,
+    suite: str = "matrix",
+    counter_metric: str = "counters.cpu_cycles",
+    host_metric: str = "host.wall_ms",
+    spec_mode: str = "speculative",
+    base_mode: str = "baseline",
+    max_runs: int = 12,
+) -> str:
+    """The dashboard as one self-contained HTML string."""
+    records = runs(store, suite=suite)
+    latest = latest_matrix(store, suite=suite)
+    benches = sorted(latest)
+    batches: list[str] = []
+    for rec in records:
+        batch = rec.get("batch", "?")
+        if batch not in batches:
+            batches.append(batch)
+    revs = [r.get("git_rev") for r in records if r.get("git_rev")]
+
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        '<meta name="viewport" content="width=device-width, initial-scale=1">',
+        "<title>ALAT speculation analytics</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>ALAT speculation analytics</h1>",
+        f'<p class="sub">results store: {_esc(store.root)} · suite '
+        f"“{_esc(suite)}” · generated "
+        f"{time.strftime('%Y-%m-%d %H:%M:%S')}</p>",
+    ]
+
+    # -- stat tiles -----------------------------------------------------
+    parts.append('<div class="tiles">')
+    parts.append(_tile(len(records), "run records"))
+    parts.append(_tile(len(benches), "benchmarks"))
+    parts.append(_tile(len(batches), "stored sweeps"))
+    parts.append(_tile(revs[-1] if revs else "–", "latest git rev"))
+    if store.torn_lines:
+        parts.append(_tile(store.torn_lines, "torn lines skipped"))
+    parts.append("</div>")
+
+    if not records:
+        parts.append(
+            '<p class="sub">store is empty — run '
+            "<code>python -m repro.workloads --store benchmarks/store</code> "
+            "to ingest the benchmark matrix.</p></body></html>"
+        )
+        return "\n".join(parts)
+
+    # -- baseline vs speculative delta table ----------------------------
+    parts.append("<h2>Baseline vs speculative (latest stored runs)</h2>")
+    parts.append(
+        "<table><tr><th>benchmark</th><th>CPU cycles Δ</th>"
+        "<th>data access Δ</th><th>retired loads Δ</th>"
+        "<th>evictions</th><th>check failures</th><th>wall ms</th></tr>"
+    )
+    for bench in benches:
+        base = latest[bench].get(base_mode)
+        spec = latest[bench].get(spec_mode)
+        if base is None or spec is None:
+            parts.append(
+                f'<tr><td>{_esc(bench)}</td><td class="muted" colspan="6">'
+                f"missing {base_mode if base is None else spec_mode} "
+                f"run</td></tr>"
+            )
+            continue
+
+        def red(path: str) -> float:
+            a = get_metric(base, path) or 0
+            b = get_metric(spec, path) or 0
+            return 100.0 * (a - b) / a if a else 0.0
+
+        evic = get_metric(spec, "alat.capacity_evictions") or 0
+        fails = get_metric(spec, "counters.check_failures") or 0
+        wall = get_metric(spec, "host.wall_ms")
+        parts.append(
+            f"<tr><td>{_esc(bench)}</td>"
+            + _delta_td(red("counters.cpu_cycles"))
+            + _delta_td(red("counters.data_access_cycles"))
+            + _delta_td(red("counters.retired_loads"))
+            + f"<td>{evic:,}</td><td>{fails:,}</td>"
+            + f"<td>{wall:,.1f}</td></tr>"
+            if wall is not None
+            else f"<tr><td>{_esc(bench)}</td>"
+            + _delta_td(red("counters.cpu_cycles"))
+            + _delta_td(red("counters.data_access_cycles"))
+            + _delta_td(red("counters.retired_loads"))
+            + f"<td>{evic:,}</td><td>{fails:,}</td>"
+            + '<td class="muted">–</td></tr>'
+        )
+    parts.append("</table>")
+    parts.append(
+        '<p class="legend">Δ = percent reduction vs the -O3 baseline '
+        "(positive = speculation wins); counters are simulated and "
+        "deterministic, wall ms measures this harness.</p>"
+    )
+
+    # -- trends ---------------------------------------------------------
+    parts.append(
+        f"<h2>Trends across stored runs ({_esc(spec_mode)} mode)</h2>"
+    )
+    parts.append(
+        f"<table><tr><th>benchmark</th><th>{_esc(counter_metric)}</th>"
+        f"<th>latest</th><th>{_esc(host_metric)}</th><th>latest</th></tr>"
+    )
+    for bench in benches:
+        recs = [
+            r for r in records
+            if r.get("bench") == bench and r.get("mode") == spec_mode
+        ]
+        cvals = [
+            float(v) for v in
+            (get_metric(r, counter_metric) for r in recs)
+            if isinstance(v, (int, float))
+        ][-max_runs:]
+        hvals = [
+            float(v) for v in
+            (get_metric(r, host_metric) for r in recs)
+            if isinstance(v, (int, float))
+        ][-max_runs:]
+        parts.append(
+            f"<tr><td>{_esc(bench)}</td>"
+            f"<td>{_spark_svg(cvals, label=counter_metric)}</td>"
+            f'<td class="spark-label">'
+            f"{f'{cvals[-1]:,.0f}' if cvals else '–'}</td>"
+            f"<td>{_spark_svg(hvals, label=host_metric)}</td>"
+            f'<td class="spark-label">'
+            f"{f'{hvals[-1]:,.1f}' if hvals else '–'}</td></tr>"
+        )
+    parts.append("</table>")
+
+    # -- per-site heatmap -----------------------------------------------
+    site_rows: dict[tuple[str, str], dict[str, float]] = {}
+    lines_by_site: dict[tuple[str, str], Optional[int]] = {}
+    for rec in records:
+        if rec.get("mode") != spec_mode or not rec.get("sites"):
+            continue
+        batch = rec.get("batch", "?")
+        for site in rec["sites"]:
+            key = (rec.get("bench", "?"), str(site.get("site", "?")))
+            pressure = (site.get("collisions", 0) or 0) + (
+                site.get("evictions", 0) or 0
+            )
+            site_rows.setdefault(key, {})[batch] = pressure
+            lines_by_site.setdefault(key, site.get("line"))
+    if site_rows:
+        used_batches = [
+            b for b in batches
+            if any(b in row for row in site_rows.values())
+        ][-max_runs:]
+        peak = max(
+            (v for row in site_rows.values() for v in row.values()),
+            default=0.0,
+        )
+        parts.append("<h2>ALAT site pressure across runs</h2>")
+        parts.append(
+            '<table class="hm"><tr><td class="rowlabel muted">'
+            "bench · site (line)</td>"
+            + "".join(
+                f'<th title="sweep {_esc(b)}">r{i + 1}</th>'
+                for i, b in enumerate(used_batches)
+            )
+            + "</tr>"
+        )
+        for (bench, site), row in sorted(site_rows.items()):
+            line = lines_by_site.get((bench, site))
+            label = f"{bench} · {site}" + (f" (L{line})" if line else "")
+            parts.append(
+                f'<tr><td class="rowlabel">{_esc(label)}</td>'
+                + "".join(
+                    _ramp_cell(row.get(b, 0.0), peak) for b in used_batches
+                )
+                + "</tr>"
+            )
+        parts.append("</table>")
+        parts.append(
+            '<p class="legend">cell = store collisions + capacity '
+            "evictions at that promotion site in that run; "
+            + "".join(f'<span class="swatch" style="background:{c}"></span>'
+                      for c in _RAMP)
+            + f" 0 → {peak:,.0f} (single-hue ramp, darker = more "
+            "pressure). Columns are stored sweeps, oldest → newest.</p>"
+        )
+
+    parts.append(
+        "<footer>Regenerate: <code>python -m repro.workloads --store "
+        f"{_esc(store.root)}</code> then <code>python -m repro.obs.store "
+        f"dashboard --store {_esc(store.root)} --html dashboard.html"
+        "</code>. Self-contained file: no scripts, no external assets."
+        "</footer></body></html>"
+    )
+    return "\n".join(parts)
+
+
+def write_dashboard(path: str, store: ResultsStore, **kwargs) -> None:
+    text = render_dashboard(store, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,208 @@
+"""ASCII renderings of store queries (the CLI's text output).
+
+JSON output is the ``as_dict`` shapes from :mod:`repro.obs.store.query`
+plus the raw records themselves; everything here is presentation only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.obs.store.query import (
+    COMPARE_SECTIONS,
+    RunComparison,
+    get_metric,
+)
+
+
+def _stamp(ts: Optional[float]) -> str:
+    if not ts:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def _num(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def _width(records: list[dict], key: str, floor: int) -> int:
+    longest = max(
+        (len(str(rec.get(key, "?"))) for rec in records), default=0
+    )
+    return max(floor, longest + 2)
+
+
+def format_run_list(
+    records: list[dict], metric: str = "counters.cpu_cycles"
+) -> str:
+    """One row per record: id, identity, timestamp, one key metric."""
+    wb = _width(records, "bench", 10)
+    wm = _width(records, "mode", 13)
+    ws = _width(records, "suite", 16)
+    header = (
+        f"{'run_id':<17}{'bench':<{wb}}{'mode':<{wm}}{'suite':<{ws}}"
+        f"{'when':<20}{'rev':<9}{metric:>20}"
+    )
+    lines = [header, "-" * len(header)]
+    for rec in records:
+        lines.append(
+            f"{rec.get('run_id', '?'):<17}"
+            f"{rec.get('bench', '?'):<{wb}}"
+            f"{rec.get('mode', '?'):<{wm}}"
+            f"{rec.get('suite', '?'):<{ws}}"
+            f"{_stamp(rec.get('timestamp')):<20}"
+            f"{(rec.get('git_rev') or '-'):<9}"
+            f"{_num(get_metric(rec, metric)):>20}"
+        )
+    lines.append(f"{len(records)} record(s)")
+    return "\n".join(lines)
+
+
+def format_series(
+    table: dict[tuple[str, str], list[tuple[float, float]]], metric: str
+) -> str:
+    """Per-(bench, mode) trend line: first, last, extremes, spark."""
+    header = (
+        f"{'bench':<10}{'mode':<13}{'n':>4}{'first':>14}{'last':>14}"
+        f"{'min':>14}{'max':>14}  trend"
+    )
+    lines = [f"series: {metric}", header, "-" * len(header)]
+    for (bench, mode), points in sorted(table.items()):
+        values = [v for _ts, v in points]
+        lines.append(
+            f"{bench:<10}{mode:<13}{len(values):>4}"
+            f"{_num(values[0]):>14}{_num(values[-1]):>14}"
+            f"{_num(min(values)):>14}{_num(max(values)):>14}"
+            f"  {ascii_spark(values)}"
+        )
+    return "\n".join(lines)
+
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_spark(values: list[float], width: int = 16) -> str:
+    """A unicode sparkline of up to ``width`` trailing values."""
+    if not values:
+        return ""
+    tail = values[-width:]
+    lo, hi = min(tail), max(tail)
+    if hi == lo:
+        return _SPARK_GLYPHS[0] * len(tail)
+    span = hi - lo
+    return "".join(
+        _SPARK_GLYPHS[
+            min(len(_SPARK_GLYPHS) - 1,
+                int((v - lo) / span * (len(_SPARK_GLYPHS) - 1)))
+        ]
+        for v in tail
+    )
+
+
+def format_record(rec: dict) -> str:
+    """Full single-record view: identity block + metrics summary."""
+    lines = [
+        f"run     {rec.get('run_id', '?')}  ({rec.get('kind', '?')})",
+        f"bench   {rec.get('bench', '?')} / {rec.get('mode', '?')}"
+        f"  [{rec.get('suite', '?')}]",
+        f"when    {_stamp(rec.get('timestamp'))}"
+        + (f"  rev {rec['git_rev']}" if rec.get("git_rev") else ""),
+        f"batch   {rec.get('batch', '-')}",
+    ]
+    if rec.get("source_sha"):
+        lines.append(f"source  sha256:{rec['source_sha']}")
+    config = rec.get("config", {})
+    if config:
+        lines.append("config  " + ", ".join(
+            f"{k}={v}" for k, v in sorted(config.items())
+            if not isinstance(v, dict)
+        ))
+    machine = rec.get("machine", {})
+    if machine.get("alat"):
+        alat = machine["alat"]
+        lines.append(
+            f"alat    {alat.get('entries')} entries, "
+            f"{alat.get('associativity')}-way, "
+            f"{alat.get('partial_bits')}-bit partial"
+        )
+    metrics = rec.get("metrics", {})
+    for section, title in COMPARE_SECTIONS:
+        node = metrics.get(section)
+        if not isinstance(node, dict):
+            continue
+        nums = {
+            k: v for k, v in node.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        if not nums:
+            continue
+        lines.append(f"-- {title}")
+        for key, value in nums.items():
+            lines.append(f"   {key:<24} {_num(value)}")
+    sites = rec.get("sites")
+    if sites:
+        lines.append(f"-- ALAT sites ({len(sites)})")
+        for site in sites:
+            lines.append(
+                f"   {site.get('site', '?'):<28} alloc={site.get('allocations', 0)} "
+                f"coll={site.get('collisions', 0)} evict={site.get('evictions', 0)} "
+                f"hits={site.get('check_hits', 0)} fails={site.get('check_failures', 0)}"
+            )
+    return "\n".join(lines)
+
+
+def format_comparison(cmp: RunComparison) -> str:
+    """Side-by-side ASCII delta tables (counters, host, ALAT/cache/RSE
+    stats, per-site)."""
+
+    def ident(rec: dict) -> str:
+        return (
+            f"{rec.get('run_id', '?')} {rec.get('bench', '?')}/"
+            f"{rec.get('mode', '?')} @ {_stamp(rec.get('timestamp'))}"
+        )
+
+    lines = [
+        f"A: {ident(cmp.a)}",
+        f"B: {ident(cmp.b)}",
+    ]
+    header = f"{'metric':<26}{'A':>16}{'B':>16}{'delta':>14}{'%':>9}"
+    titles = dict(COMPARE_SECTIONS)
+    for section, deltas in cmp.sections.items():
+        lines += ["", f"== {titles.get(section, section)} ==", header,
+                  "-" * len(header)]
+        for d in deltas:
+            pct = f"{d.pct:+.1f}%" if d.pct is not None else "-"
+            lines.append(
+                f"{d.name:<26}{_num(d.a):>16}{_num(d.b):>16}"
+                f"{_num(d.diff) if d.diff < 0 else '+' + _num(d.diff):>14}"
+                f"{pct:>9}"
+            )
+    if cmp.sites:
+        lines += ["", "== ALAT sites =="]
+        site_header = (
+            f"{'site':<28}{'metric':<18}{'A':>12}{'B':>12}{'delta':>12}"
+        )
+        lines += [site_header, "-" * len(site_header)]
+        for site in cmp.sites:
+            tag = f" (only in {site.only_in.upper()})" if site.only_in else ""
+            first = True
+            for d in site.deltas:
+                if d.a == 0 and d.b == 0:
+                    continue
+                label = (site.site + tag) if first else ""
+                first = False
+                lines.append(
+                    f"{label:<28}{d.name:<18}{_num(d.a):>12}"
+                    f"{_num(d.b):>12}"
+                    f"{_num(d.diff) if d.diff < 0 else '+' + _num(d.diff):>12}"
+                )
+            if first:  # every field zero on both sides
+                lines.append(f"{site.site + tag:<28}{'(all zero)':<18}")
+    if not cmp.sections and not cmp.sites:
+        lines.append("no comparable numeric metrics on either record")
+    return "\n".join(lines)

@@ -73,6 +73,9 @@ Event schema (documented in DESIGN.md §"Trace schema"):
                           ``allocations``, ``collisions``, ``evictions``,
                           ``check_hits``, ``check_failures``,
                           ``recovery_cycles``, ``kinds``)
+``store.ingest``          one run record appended to the results store
+                          (``run_id``, ``kind``, ``bench``, ``mode``,
+                          ``shard``)
 ========================  =================================================
 
 ALAT events carry the register tag as ``[activation_serial, register]``

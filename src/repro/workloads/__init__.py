@@ -21,8 +21,10 @@ from repro.workloads.runner import (
     WorkloadFailure,
     WorkloadMatrixError,
     gate_results,
+    ingest_results,
     run_benchmark,
     run_all_benchmarks,
+    store_records,
     BASELINE,
     SPECULATIVE,
 )
@@ -46,8 +48,10 @@ __all__ = [
     "WorkloadFailure",
     "WorkloadMatrixError",
     "gate_results",
+    "ingest_results",
     "run_benchmark",
     "run_all_benchmarks",
+    "store_records",
     "BASELINE",
     "SPECULATIVE",
     "figure8_table",

@@ -32,16 +32,40 @@ def main(argv=None) -> int:
         help="write per-benchmark counters + host metrics as JSON "
         "(the shape python -m repro.obs.regress gates)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="ingest every measurement into the experiment results "
+        "store (benchmarks/store); runs are site-profiled so records "
+        "carry per-ALAT-site stats",
+    )
     args = parser.parse_args(argv)
 
     failures: list[WorkloadFailure] = []
-    results = run_all_benchmarks(trace_dir=args.trace_dir, failures=failures)
+    results = run_all_benchmarks(
+        trace_dir=args.trace_dir,
+        failures=failures,
+        profile_sites=bool(args.store),
+    )
     if results:
         print(matrix_table(results))
         if args.report_json:
             with open(args.report_json, "w", encoding="utf-8") as fh:
                 json.dump(host_metrics_as_dict(results), fh, indent=2)
                 fh.write("\n")
+        if args.store:
+            from repro.obs.store import ResultsStore
+            from repro.workloads.runner import ingest_results
+
+            run_ids = ingest_results(
+                ResultsStore(args.store), results, suite="matrix"
+            )
+            print(
+                f"store: ingested {len(run_ids)} run record(s) into "
+                f"{args.store}",
+                file=sys.stderr,
+            )
     for failure in failures:
         print(f"FAILED {failure.format()}", file=sys.stderr)
     if failures:

@@ -189,6 +189,7 @@ def _run_mode(
     options: CompilerOptions,
     expected_output: list[str],
     obs: Optional[TraceContext] = None,
+    profile: bool = False,
 ) -> ModeResult:
     output = compile_source(
         workload.source,
@@ -198,7 +199,7 @@ def _run_mode(
         obs=obs,
     )
     try:
-        machine = output.run(list(workload.ref_args))
+        machine = output.run(list(workload.ref_args), profile=profile)
     finally:
         if obs is not None:
             obs.close()
@@ -217,15 +218,19 @@ def run_benchmark(
     extra_modes: Optional[dict[str, CompilerOptions]] = None,
     use_cache: bool = True,
     trace_dir: Optional[str] = None,
+    profile_sites: bool = False,
 ) -> BenchmarkResult:
     """Measure one benchmark: baseline + speculative (+ extras).
 
     With ``trace_dir`` set, every mode run streams its structured event
-    trace to ``{trace_dir}/{benchmark}.{mode}.jsonl``.
+    trace to ``{trace_dir}/{benchmark}.{mode}.jsonl``.  With
+    ``profile_sites``, each run collects the per-ALAT-site attribution
+    profile (observational only — simulated counters are identical) so
+    results-store records carry per-site collision/eviction stats.
     """
     key = (name, id(machine_config) if machine_config else None,
            tuple(sorted(extra_modes)) if extra_modes else None,
-           trace_dir)
+           trace_dir, profile_sites)
     if use_cache and key in _cache:
         return _cache[key]
 
@@ -251,18 +256,20 @@ def run_benchmark(
     result = BenchmarkResult(
         workload,
         baseline=_run_mode(
-            workload, "baseline", base_opts, reference.output, _obs("baseline")
+            workload, "baseline", base_opts, reference.output,
+            _obs("baseline"), profile=profile_sites,
         ),
         speculative=_run_mode(
             workload, "speculative", spec_opts, reference.output,
-            _obs("speculative"),
+            _obs("speculative"), profile=profile_sites,
         ),
     )
     for label, options in (extra_modes or {}).items():
         if machine_config is not None:
             options.machine = machine_config
         result.extras[label] = _run_mode(
-            workload, label, options, reference.output, _obs(label)
+            workload, label, options, reference.output, _obs(label),
+            profile=profile_sites,
         )
 
     if use_cache:
@@ -274,6 +281,7 @@ def run_all_benchmarks(
     machine_config: Optional[MachineConfig] = None,
     trace_dir: Optional[str] = None,
     failures: Optional[list[WorkloadFailure]] = None,
+    profile_sites: bool = False,
 ) -> dict[str, BenchmarkResult]:
     """All ten benchmarks, in the paper's reporting order.
 
@@ -288,7 +296,10 @@ def run_all_benchmarks(
     results: dict[str, BenchmarkResult] = {}
     for name in BENCHMARKS:
         try:
-            results[name] = run_benchmark(name, machine_config, trace_dir=trace_dir)
+            results[name] = run_benchmark(
+                name, machine_config, trace_dir=trace_dir,
+                profile_sites=profile_sites,
+            )
         except Exception as exc:
             loc = None
             if isinstance(exc, SourceError) and exc.line:
@@ -338,4 +349,72 @@ def gate_results(
         records,
         threshold=threshold if threshold is not None else DEFAULT_THRESHOLD,
         update=update,
+    )
+
+
+# -- results-store ingestion --------------------------------------------
+
+
+def mode_sites(mode: ModeResult) -> Optional[list[dict]]:
+    """Per-ALAT-site stats of one measurement (runs made with
+    ``profile_sites``), as plain dicts; None when not profiled."""
+    profile = getattr(mode.machine, "profile", None)
+    if profile is None or not profile.sites:
+        return None
+    return [site.as_dict() for site in profile.sites.values()]
+
+
+def store_records(
+    results: dict[str, BenchmarkResult],
+    suite: str = "matrix",
+    batch: Optional[str] = None,
+    config: Optional[dict] = None,
+) -> list[dict]:
+    """One store run record per (benchmark, mode) measurement.
+
+    Records share one ``batch`` id (the sweep), carry the full
+    ``build_metrics`` payload, the compiler options string plus any
+    sweep ``config`` extras as the run's config, the machine geometry,
+    and — when the run was profiled — per-site ALAT stats.
+    """
+    from repro.obs import build_metrics
+    from repro.obs.store import make_record, new_batch_id
+
+    batch = batch or new_batch_id()
+    records = []
+    for name, result in sorted(results.items()):
+        modes = [result.baseline, result.speculative,
+                 *result.extras.values()]
+        for mode in modes:
+            metrics = build_metrics(mode.compile_output, mode.machine)
+            run_config = {"options": mode.options.describe()}
+            if config:
+                run_config.update(config)
+            records.append(
+                make_record(
+                    name,
+                    mode.label,
+                    metrics,
+                    suite=suite,
+                    source=result.workload.source,
+                    config=run_config,
+                    machine=mode.options.machine,
+                    sites=mode_sites(mode),
+                    batch=batch,
+                )
+            )
+    return records
+
+
+def ingest_results(
+    store,
+    results: dict[str, BenchmarkResult],
+    suite: str = "matrix",
+    config: Optional[dict] = None,
+    obs: Optional[TraceContext] = None,
+) -> list[str]:
+    """Write one sweep's measurements into a
+    :class:`repro.obs.store.ResultsStore`; returns the run ids."""
+    return store.ingest_many(
+        store_records(results, suite=suite, config=config), obs=obs
     )

@@ -147,6 +147,94 @@ def test_synthetic_flamegraph_accounting():
     assert values["pre"] == 1000  # 3 ms wall minus 2 ms child
 
 
+# -- workload report tables (golden) --------------------------------------
+
+
+def _stored_matrix_results():
+    """Two benches of fixed counters/host numbers rendered through the
+    store's :class:`StoredMode` path — deterministic inputs, so the
+    figure and matrix renderers can be golden-tested byte-for-byte."""
+    from repro.obs.store import make_record
+    from repro.workloads.report import benchmark_results_from_records
+
+    def counters(cycles, data, loads, indirect, checks, failures):
+        return {
+            "cpu_cycles": cycles,
+            "data_access_cycles": data,
+            "retired_loads": loads,
+            "retired_indirect_loads": indirect,
+            "check_instructions": checks,
+            "check_failures": failures,
+            "recovery_cycles": failures * 25,
+            "rse_cycles": 6 if checks else 4,
+        }
+
+    fixtures = {
+        "gzip": (
+            counters(10_000, 3_000, 1_000, 400, 0, 0),
+            counters(9_200, 2_500, 860, 340, 40, 2),
+        ),
+        "vortex": (
+            counters(20_000, 8_000, 2_500, 900, 0, 0),
+            counters(18_500, 6_600, 2_100, 760, 120, 0),
+        ),
+    }
+    latest = {}
+    for bench, (base, spec) in fixtures.items():
+        latest[bench] = {}
+        for mode, ctr, wall, steps in (
+            ("baseline", base, 120.0, 480_000.0),
+            ("speculative", spec, 110.5, 520_000.0),
+        ):
+            latest[bench][mode] = make_record(
+                bench, mode,
+                {"counters": ctr,
+                 "host": {"wall_ms": wall, "simulate_wall_ms": wall - 20.0,
+                          "sim_steps_per_sec": steps}},
+                suite="matrix", timestamp=1.0, git_rev=None,
+            )
+    return benchmark_results_from_records(latest)
+
+
+@pytest.mark.parametrize(
+    "golden_name, renderer_name",
+    [
+        ("figure8_table.txt", "figure8_table"),
+        ("figure9_table.txt", "figure9_table"),
+        ("figure10_table.txt", "figure10_table"),
+        ("figure11_table.txt", "figure11_table"),
+        ("matrix_table.txt", "matrix_table"),
+        ("host_metrics_table.txt", "host_metrics_table"),
+    ],
+)
+def test_report_table_golden(golden_name, renderer_name):
+    from repro.workloads import report
+
+    renderer = getattr(report, renderer_name)
+    _check_golden(golden_name, renderer(_stored_matrix_results()) + "\n")
+
+
+def test_figures_as_dict_golden():
+    from repro.workloads.report import figures_as_dict
+
+    doc = figures_as_dict(_stored_matrix_results())
+    _check_golden(
+        "figures_dict.json",
+        json.dumps(doc, indent=2, sort_keys=True) + "\n",
+    )
+
+
+def test_stored_mode_reconstructs_derived_ratios():
+    """The stored view must rebuild the two derived counter properties
+    the figure tables lean on (they are @property on Counters, not
+    persisted fields)."""
+    results = _stored_matrix_results()
+    spec = results["gzip"].speculative
+    assert spec.counters.misspeculation_ratio == pytest.approx(2 / 40)
+    assert spec.counters.checks_per_load == pytest.approx(40 / (860 + 40))
+    assert spec.retired_direct_loads == 860 - 340
+
+
 # -- host-metric gating --------------------------------------------------
 
 
