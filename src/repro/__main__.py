@@ -42,6 +42,7 @@ from repro.obs import (
     write_flamegraph,
 )
 from repro.pipeline import (
+    AliasProbSource,
     CompilerOptions,
     OptLevel,
     PromotionGate,
@@ -105,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="static ALAT pressure gate: on demotes predicted-"
         "unprofitable speculative candidates, warn only reports them, "
         "off skips the analysis (default warn)",
+    )
+    parser.add_argument(
+        "--alias-prob",
+        choices=[s.value for s in AliasProbSource],
+        default="profile",
+        help="alias-probability source for the pressure gate and "
+        "heuristic speculation: profile uses the training run's "
+        "constants, static uses repro.analysis.probalias estimates "
+        "(no profiling needed), hybrid backfills unprofiled stores "
+        "with static estimates (default profile)",
     )
     parser.add_argument(
         "--dump-pressure-dot",
@@ -234,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         rounds=args.rounds,
         speclint=SpecLintMode(args.speclint),
         promotion_gate=PromotionGate(args.promotion_gate),
+        alias_prob=AliasProbSource(args.alias_prob),
     )
     train = args.train_args if args.train_args is not None else args.args
 

@@ -10,17 +10,26 @@ Queries used downstream:
 
 * ``access_targets(addr_expr, access_type)`` — type-filtered points-to
   set of one indirect access;
+* ``store_write_ids(stmt)`` / ``may_alias_load_store(load, store)`` —
+  the stable per-statement may-alias interface the speculation-era
+  clients (speclint, alatpressure, probalias) share, including the
+  rewritten-address fallback promotion makes necessary;
 * ``virtual_var_of_access(addr_expr, access_type)`` — the virtual
   variable standing for the access's alias class;
 * ``virtual_vars_containing(obj)`` — classes a named variable's object
   belongs to (a direct store to it must χ those virtual variables);
 * ``call_mod/call_ref(fname)`` — objects a call may write/read.
+
+Downstream passes must not reach into ``manager.solution`` or the
+private object tables: the fallback handling for promotion-rewritten
+addresses lives here, and call sites that re-implemented it have
+historically drifted apart.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 from repro.alias.andersen import solve_andersen
 from repro.alias.constraints import ConstraintSystem, build_constraints
@@ -28,7 +37,7 @@ from repro.alias.memobj import MemObject, VarMemObject
 from repro.alias.solution import PointsToSolution
 from repro.alias.steensgaard import solve_steensgaard
 from repro.alias.typebased import type_filter_points_to
-from repro.ir.expr import Expr, Load, VarRead
+from repro.ir.expr import Expr, Load, VarRead, walk_expr
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.stmt import Assign, Call, Store
@@ -118,6 +127,70 @@ class AliasManager:
         a = self.access_targets(addr_a, type_a)
         b = self.access_targets(addr_b, type_b)
         return bool(a & b)
+
+    def access_targets_unfiltered(self, addr: Expr) -> frozenset[MemObject]:
+        """Raw points-to set of an access, before type filtering — for
+        clients that report *why* a pair was refuted (probalias marks
+        pairs the type filter alone ruled out)."""
+        return self.solution.points_to_access(addr.eid)
+
+    # -- stable per-statement queries ---------------------------------------
+
+    def object_by_id(self, oid: int) -> Optional[MemObject]:
+        """The memory object with the given id, if any."""
+        return self._objects_by_id.get(oid)
+
+    def var_points_to(
+        self, var_id: int, access_type: Optional[Type] = None
+    ) -> frozenset[MemObject]:
+        """Points-to set of a pointer *variable* (by id), optionally
+        filtered by the access type, matching ``access_targets``'s
+        filtering of address expressions."""
+        targets = self.solution.points_to_var(var_id)
+        if access_type is not None and self.use_type_filter:
+            targets = type_filter_points_to(targets, access_type)
+        return targets
+
+    def store_write_ids(
+        self, stmt: Store, var_by_temp: Optional[Mapping[int, int]] = None
+    ) -> frozenset[int]:
+        """Object ids a ``Store`` may write.  An **empty** result means
+        "unknown — may write anything": the address has no resolved
+        points-to set, so clients must treat the store as aliasing
+        every candidate.
+
+        ``var_by_temp`` maps promotion-temp variable ids back to the
+        original promoted variable.  Promotion (SSAPRE + scalar
+        replacement) rewrites store addresses to read promoted temps,
+        whose ids the points-to solution has never seen; the fallback
+        walks the address's variable reads through ``var_by_temp`` so
+        post-promotion queries stay as precise as pre-promotion ones.
+        """
+        ids = frozenset(
+            o.id for o in self.access_targets(stmt.addr, stmt.value.type)
+        )
+        if ids or var_by_temp is None:
+            return ids
+        collected: set[int] = set()
+        for expr in walk_expr(stmt.addr):
+            if not isinstance(expr, VarRead):
+                continue
+            orig = var_by_temp.get(expr.var.id)
+            if orig is None:
+                continue
+            collected |= {
+                o.id for o in self.var_points_to(orig, stmt.value.type)
+            }
+        return frozenset(collected)
+
+    def may_alias_load_store(self, load: Load, store: Store) -> bool:
+        """May a ``Load`` expression and a ``Store`` statement touch the
+        same memory?  Unknown store targets conservatively alias."""
+        writes = self.store_write_ids(store)
+        if not writes:
+            return True
+        reads = {o.id for o in self.access_targets(load.addr, load.type)}
+        return bool(reads & writes)
 
     # -- alias classes / virtual variables ------------------------------------
 

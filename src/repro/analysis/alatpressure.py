@@ -158,11 +158,37 @@ class CandidateReport:
 
 
 @dataclass
+class PairEstimate:
+    """One charged (candidate, may-aliasing statement) probability.
+
+    Recorded by ``_alias_risk`` for every pair it multiplies into a
+    candidate's survival, whatever :class:`ProbSource` priced it — the
+    driver turns these into ``probalias.estimate`` trace events and the
+    probalias calibration CLI scores them against profiled truth."""
+
+    function: str
+    #: sid of the may-aliasing store/call
+    sid: int
+    temp_id: int
+    temp: str
+    #: "store" or "call"
+    kind: str
+    prob: float
+    #: which source priced it ("profile" / "static" / "hybrid")
+    source: str
+    #: model features behind the number (overlap, loop structure, ...)
+    features: dict = field(default_factory=dict)
+
+
+@dataclass
 class FunctionPressure:
     """Pressure analysis of one function."""
 
     function: str
     candidates: dict[int, CandidateReport] = field(default_factory=dict)
+    #: every (candidate, aliasing statement) probability charged by the
+    #: misspeculation model, with provenance
+    pair_estimates: list[PairEstimate] = field(default_factory=list)
     #: maximum simultaneously-armed entries at any point (armed, not
     #: armed-and-needed: a dead entry still holds its way in the set)
     peak_occupancy: int = 0
@@ -358,12 +384,14 @@ class _FunctionAnalysis:
         am=None,
         profile=None,
         targets_by_temp: Optional[dict[int, frozenset[int]]] = None,
+        prob_source=None,
     ) -> None:
         self.fn = fn
         self.alat = alat
         self.am = am
         self.profile = profile
         self.targets_by_temp = targets_by_temp or {}
+        self.prob_source = prob_source
         self.webs = _collect_webs(fn)
         self.result = FunctionPressure(fn.name)
 
@@ -439,10 +467,20 @@ class _FunctionAnalysis:
 
     def _alias_risk(self, live_by_stmt: dict[int, frozenset]) -> dict[int, float]:
         """Per candidate: probability an aliasing store/call in the live
-        range invalidates the entry before its next check."""
+        range invalidates the entry before its next check.
+
+        Each charged pair is priced by the configured
+        :class:`~repro.analysis.probalias.ProbSource` (default: the
+        profile-driven constants) and recorded on
+        ``result.pair_estimates``."""
         survival = {t: 1.0 for t in self.webs}
         if self.am is None:
             return {t: 0.0 for t in self.webs}
+        source = self.prob_source
+        if source is None:
+            from repro.analysis.probalias import ProfileProbSource
+
+            source = ProfileProbSource(self.profile, self.am)
         for block in self.fn.reachable_blocks():
             for stmt in block.stmts:
                 live = live_by_stmt.get(stmt.sid)
@@ -450,54 +488,46 @@ class _FunctionAnalysis:
                     continue
                 unknown = False
                 if isinstance(stmt, Store):
-                    writes = {
-                        o.id
-                        for o in self.am.access_targets(
-                            stmt.addr, stmt.value.type
-                        )
-                    }
+                    writes = self.am.store_write_ids(stmt)
                     # Promotion rewrote many store addresses into temp
                     # reads the points-to solution has never seen; an
                     # empty target set means "unknown", not "nothing" —
                     # the dynamic address may hit any live entry.
                     unknown = not writes
                 elif isinstance(stmt, Call):
-                    writes = {o.id for o in self.am.call_mod(stmt.callee)}
+                    writes = frozenset(
+                        o.id for o in self.am.call_mod(stmt.callee)
+                    )
                 else:
                     continue
                 if not writes and not unknown:
                     continue
                 for t in live:
-                    targets = self.targets_by_temp.get(t)
-                    if not unknown and (
-                        not targets or not (writes & targets)
-                    ):
+                    targets = self.targets_by_temp.get(t) or frozenset()
+                    if not unknown and not (writes & targets):
                         continue
-                    if self.profile is None:
-                        p = P_ALIAS_NOPROFILE
-                    elif isinstance(stmt, Store):
-                        observed = self.profile.store_targets.get(
-                            stmt.sid, set()
+                    if isinstance(stmt, Store):
+                        est = source.store_prob(
+                            self.fn, stmt, targets, unknown
                         )
-                        seen = bool(self._object_keys(targets) & observed)
-                        p = P_ALIAS_SEEN if seen else P_ALIAS_UNSEEN
                     else:
-                        p = P_ALIAS_UNSEEN
-                    survival[t] *= 1.0 - p
+                        est = source.call_prob(self.fn, stmt, targets)
+                    self.result.pair_estimates.append(
+                        PairEstimate(
+                            function=self.fn.name,
+                            sid=stmt.sid,
+                            temp_id=t,
+                            temp=self.webs[t].name,
+                            kind="store"
+                            if isinstance(stmt, Store)
+                            else "call",
+                            prob=est.prob,
+                            source=est.source,
+                            features=est.features,
+                        )
+                    )
+                    survival[t] *= 1.0 - est.prob
         return {t: 1.0 - s for t, s in survival.items()}
-
-    def _object_keys(self, target_ids: frozenset[int]) -> set:
-        """Profile owner keys of the given memory-object ids."""
-        keys: set = set()
-        if self.am is None:
-            return keys
-        from repro.speculation.profile import object_key
-
-        for oid in target_ids:
-            obj = self.am._objects_by_id.get(oid)
-            if obj is not None:
-                keys.add(object_key(obj))
-        return keys
 
     # -- address-dependency closure (cascades) ---------------------------
 
@@ -700,10 +730,16 @@ def analyze_function_pressure(
     am=None,
     profile=None,
     targets_by_temp: Optional[dict[int, frozenset[int]]] = None,
+    prob_source=None,
 ) -> FunctionPressure:
-    """Pressure/profit analysis for one function."""
+    """Pressure/profit analysis for one function.
+
+    ``prob_source`` is a :class:`repro.analysis.probalias.ProbSource`
+    pricing the per-pair alias probabilities; None means the profile
+    constants (the paper's behaviour)."""
     return _FunctionAnalysis(
-        fn, alat or ALATConfig(), am, profile, targets_by_temp
+        fn, alat or ALATConfig(), am, profile, targets_by_temp,
+        prob_source,
     ).run()
 
 
@@ -713,6 +749,7 @@ def analyze_module_pressure(
     am=None,
     profile=None,
     targets_by_temp: Optional[dict[int, frozenset[int]]] = None,
+    prob_source=None,
 ) -> ModulePressure:
     """Pressure/profit analysis for every function, plus the
     interprocedural occupancy peak along call chains from ``main``."""
@@ -720,7 +757,7 @@ def analyze_module_pressure(
     mp = ModulePressure(alat)
     for fn in module.iter_functions():
         mp.functions[fn.name] = _FunctionAnalysis(
-            fn, alat, am, profile, targets_by_temp
+            fn, alat, am, profile, targets_by_temp, prob_source
         ).run()
 
     def peak(name: str, seen: frozenset) -> int:

@@ -46,6 +46,12 @@ Event schema (documented in DESIGN.md §"Trace schema"):
                           ``register``, ``set_index``, ``checks``,
                           ``p_alias``, ``p_conflict``, ``profit``,
                           ``verdict`` keep/flag/demote)
+``probalias.estimate``    one per (candidate, may-aliasing statement)
+                          probability the pressure model charged
+                          (``function``, ``sid``, ``temp``, ``kind``
+                          store/call, ``prob``, ``source``
+                          profile/static/hybrid, ``features`` model
+                          inputs: overlap, loop_carried, ...)
 ``speclint.diag``         one per speculation-safety finding (``rule``,
                           ``severity``, ``function``, ``loc``,
                           ``message``)

@@ -2,6 +2,7 @@
 code, with the paper's compilation modes as options."""
 
 from repro.pipeline.options import (
+    AliasProbSource,
     CompilerOptions,
     OptLevel,
     PromotionGate,
@@ -16,6 +17,7 @@ from repro.pipeline.driver import (
 )
 
 __all__ = [
+    "AliasProbSource",
     "CompilerOptions",
     "OptLevel",
     "PromotionGate",

@@ -34,6 +34,7 @@ from repro.machine.cpu import MachineResult, Simulator
 from repro.minic.lower import compile_to_ir
 from repro.obs.trace import TraceContext
 from repro.pipeline.options import (
+    AliasProbSource,
     CompilerOptions,
     OptLevel,
     PromotionGate,
@@ -115,18 +116,39 @@ def _run_pressure_gate(
     other code.  Register numbers (and so predicted set indices) are the
     same deterministic assignment codegen will use."""
     from repro.analysis.alatpressure import analyze_module_pressure
+    from repro.analysis.probalias import make_prob_source
     from repro.speclint import facts_from_pre_stats
     from repro.speclint.diagnostics import Diagnostic, Severity
 
     facts = facts_from_pre_stats(output.pre_stats, output.alias_manager)
+    prob_source = make_prob_source(
+        opts.alias_prob.value,
+        output.module,
+        output.alias_manager,
+        output.profile,
+    )
     pressure = analyze_module_pressure(
         output.module,
         opts.machine.alat,
         am=output.alias_manager,
         profile=output.profile,
         targets_by_temp=facts.targets_by_temp,
+        prob_source=prob_source,
     )
     output.pressure = pressure
+    if obs.enabled:
+        for fp in pressure.functions.values():
+            for pe in fp.pair_estimates:
+                obs.event(
+                    "probalias.estimate",
+                    function=pe.function,
+                    sid=pe.sid,
+                    temp=pe.temp,
+                    kind=pe.kind,
+                    prob=round(pe.prob, 4),
+                    source=pe.source,
+                    features=pe.features,
+                )
     plan = pressure.demotion_plan()
     for fn_name, fp in pressure.functions.items():
         demoted = plan.get(fn_name, {})
@@ -394,7 +416,15 @@ def _compile_module(
                     softcheck=False,
                 )
             elif opts.spec_mode is SpecMode.HEURISTIC:
-                decider = make_heuristic_decider(am)
+                estimator = None
+                if opts.alias_prob is not AliasProbSource.PROFILE:
+                    # Static/hybrid gating: the heuristic decider also
+                    # consults the per-pair probability estimates
+                    # instead of the bare rule set.
+                    from repro.analysis.probalias import ProbAliasEstimator
+
+                    estimator = ProbAliasEstimator(module, am)
+                decider = make_heuristic_decider(am, estimator=estimator)
                 pre_opts = PREOptions(
                     speculative=True,
                     loop_speculation=opts.loop_speculation,

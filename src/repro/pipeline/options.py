@@ -58,6 +58,21 @@ class PromotionGate(enum.Enum):
     ON = "on"
 
 
+class AliasProbSource(enum.Enum):
+    """Where the pressure model's per-pair alias probabilities come
+    from (:mod:`repro.analysis.probalias`)."""
+
+    #: the training-run alias profile and the paper's constants (the
+    #: default; requires a profiled spec mode for real probabilities)
+    PROFILE = "profile"
+    #: the static estimator only — no profiling run consulted at all
+    STATIC = "static"
+    #: the profile where the training run executed the store, static
+    #: estimates backfilling everything else (instead of the flat
+    #: ``P_ALIAS_UNSEEN`` residual)
+    HYBRID = "hybrid"
+
+
 class SpecMode(enum.Enum):
     #: no alias speculation (classical promotion only)
     NONE = "none"
@@ -89,6 +104,10 @@ class CompilerOptions:
     #: static ALAT pressure gate on speculative promotion (off|warn|on);
     #: only consulted when the compilation speculates through the ALAT
     promotion_gate: PromotionGate = PromotionGate.WARN
+    #: alias-probability source for the pressure gate (and, under
+    #: ``SpecMode.HEURISTIC``, the speculation decider):
+    #: profile|static|hybrid
+    alias_prob: AliasProbSource = AliasProbSource.PROFILE
     #: graceful degradation: on an internal error in an optimisation
     #: phase, retry the compilation conservatively (spec off, then lower
     #: opt levels) instead of failing the run.  Differential harnesses
@@ -104,5 +123,7 @@ class CompilerOptions:
         parts = [f"-O{int(self.opt_level)}"]
         if self.spec_mode is not SpecMode.NONE:
             parts.append(f"spec={self.spec_mode.value}")
+        if self.alias_prob is not AliasProbSource.PROFILE:
+            parts.append(f"alias-prob={self.alias_prob.value}")
         parts.append(self.alias_analysis.value)
         return " ".join(parts)

@@ -335,28 +335,10 @@ class _FunctionLint:
         return False
 
     def _store_target_ids(self, stmt: Store) -> set[int]:
-        """Objects ``stmt`` may write.  When promotion rewrote the
-        address into a temp read, the cloned expression is unknown to
-        the points-to solution; fall back to the points-to set of the
-        variable the temp promotes."""
-        ids = {
-            o.id
-            for o in self.am.access_targets(stmt.addr, stmt.value.type)
-        }
-        if ids:
-            return ids
-        from repro.alias.typebased import type_filter_points_to
-
-        for e in walk_expr(stmt.addr):
-            if isinstance(e, VarRead):
-                orig = self.facts.var_by_temp.get(e.var.id)
-                if orig is None:
-                    continue
-                pts = self.am.solution.points_to_var(orig)
-                if self.am.use_type_filter:
-                    pts = type_filter_points_to(pts, stmt.value.type)
-                ids |= {o.id for o in pts}
-        return ids
+        """Objects ``stmt`` may write, including the rewritten-address
+        fallback for promotion temps (see
+        :meth:`repro.alias.manager.AliasManager.store_write_ids`)."""
+        return set(self.am.store_write_ids(stmt, self.facts.var_by_temp))
 
     # -- rules ------------------------------------------------------------
 

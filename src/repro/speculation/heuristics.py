@@ -37,14 +37,28 @@ class HeuristicConfig:
     #: speculate on named-variable targets when the set also contains a
     #: heap object
     heap_mixing: bool = True
+    #: with an estimator: pairs at most this likely to alias take the
+    #: ALAT check (cheap check, rare misspeculation); likelier pairs
+    #: get the software repair, mirroring the profile decider's split
+    alat_max_prob: float = 0.25
 
 
 def make_heuristic_decider(
-    am: AliasManager, config: HeuristicConfig | None = None
+    am: AliasManager,
+    config: HeuristicConfig | None = None,
+    estimator=None,
 ) -> SpecDecider:
+    """Speculation decider without a training run.
+
+    Without an ``estimator`` this is the original rule set.  With a
+    :class:`repro.analysis.probalias.ProbAliasEstimator` (static or
+    hybrid ``--alias-prob``), each (store, object) pair is priced by
+    the static probability model instead: low-probability pairs take
+    the ALAT, likely pairs the software repair — same verdict
+    vocabulary, numeric evidence."""
     cfg = config or HeuristicConfig()
 
-    def decider(stmt: Stmt, obj: MemObject):
+    def rules_decider(stmt: Stmt, obj: MemObject):
         if not isinstance(stmt, Store):
             return None
         targets = am.access_targets(stmt.addr, stmt.value.type)
@@ -62,4 +76,17 @@ def make_heuristic_decider(
             return "alat"
         return "soft"
 
-    return decider
+    if estimator is None:
+        return rules_decider
+
+    def prob_decider(stmt: Stmt, obj: MemObject):
+        if not isinstance(stmt, Store):
+            return None
+        targets = am.access_targets(stmt.addr, stmt.value.type)
+        if len(targets) <= 1:
+            # self-store rule holds regardless of the estimate
+            return "soft"
+        p = estimator.store_object_prob(stmt, frozenset((obj.id,)))
+        return "alat" if p <= cfg.alat_max_prob else "soft"
+
+    return prob_decider

@@ -40,13 +40,35 @@ def main(argv=None) -> int:
         "store (benchmarks/store); runs are site-profiled so records "
         "carry per-ALAT-site stats",
     )
+    parser.add_argument(
+        "--alias-prob",
+        choices=["profile", "static", "hybrid"],
+        default="profile",
+        help="alias-probability source for the speculative mode: "
+        "'static' runs the no-profile configuration (heuristic "
+        "speculation gated by repro.analysis.probalias), 'hybrid' "
+        "backfills unprofiled stores with static estimates",
+    )
     args = parser.parse_args(argv)
+
+    spec_options = None
+    if args.alias_prob == "static":
+        from repro.workloads.runner import STATIC_SPECULATIVE
+
+        spec_options = STATIC_SPECULATIVE()
+    elif args.alias_prob == "hybrid":
+        from repro.pipeline import AliasProbSource
+        from repro.workloads.runner import SPECULATIVE
+
+        spec_options = SPECULATIVE()
+        spec_options.alias_prob = AliasProbSource.HYBRID
 
     failures: list[WorkloadFailure] = []
     results = run_all_benchmarks(
         trace_dir=args.trace_dir,
         failures=failures,
         profile_sites=bool(args.store),
+        spec_options=spec_options,
     )
     if results:
         print(matrix_table(results))

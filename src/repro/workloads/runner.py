@@ -45,6 +45,21 @@ def SPECULATIVE() -> CompilerOptions:
     )
 
 
+def STATIC_SPECULATIVE() -> CompilerOptions:
+    """-O3 + static-only ALAT speculation: heuristic decisions priced by
+    the probalias estimator, promotion gated ON by the same static
+    probabilities — no alias-profiling (train) run at all."""
+    from repro.pipeline import AliasProbSource, PromotionGate
+
+    return CompilerOptions(
+        opt_level=OptLevel.O3,
+        spec_mode=SpecMode.HEURISTIC,
+        alias_prob=AliasProbSource.STATIC,
+        promotion_gate=PromotionGate.ON,
+        fallback=False,
+    )
+
+
 @dataclass
 class WorkloadFailure:
     """One benchmark that failed to compile, run, or validate."""
@@ -219,6 +234,7 @@ def run_benchmark(
     use_cache: bool = True,
     trace_dir: Optional[str] = None,
     profile_sites: bool = False,
+    spec_options: Optional[CompilerOptions] = None,
 ) -> BenchmarkResult:
     """Measure one benchmark: baseline + speculative (+ extras).
 
@@ -227,10 +243,13 @@ def run_benchmark(
     ``profile_sites``, each run collects the per-ALAT-site attribution
     profile (observational only — simulated counters are identical) so
     results-store records carry per-site collision/eviction stats.
+    ``spec_options`` replaces the default profile-guided treatment
+    (e.g. ``STATIC_SPECULATIVE()`` for the no-profile sweep).
     """
     key = (name, id(machine_config) if machine_config else None,
            tuple(sorted(extra_modes)) if extra_modes else None,
-           trace_dir, profile_sites)
+           trace_dir, profile_sites,
+           spec_options.describe() if spec_options else None)
     if use_cache and key in _cache:
         return _cache[key]
 
@@ -248,7 +267,7 @@ def run_benchmark(
     reference = run_program(workload.source, list(workload.ref_args))
 
     base_opts = BASELINE()
-    spec_opts = SPECULATIVE()
+    spec_opts = spec_options if spec_options is not None else SPECULATIVE()
     if machine_config is not None:
         base_opts.machine = machine_config
         spec_opts.machine = machine_config
@@ -282,6 +301,7 @@ def run_all_benchmarks(
     trace_dir: Optional[str] = None,
     failures: Optional[list[WorkloadFailure]] = None,
     profile_sites: bool = False,
+    spec_options: Optional[CompilerOptions] = None,
 ) -> dict[str, BenchmarkResult]:
     """All ten benchmarks, in the paper's reporting order.
 
@@ -298,7 +318,7 @@ def run_all_benchmarks(
         try:
             results[name] = run_benchmark(
                 name, machine_config, trace_dir=trace_dir,
-                profile_sites=profile_sites,
+                profile_sites=profile_sites, spec_options=spec_options,
             )
         except Exception as exc:
             loc = None

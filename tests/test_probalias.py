@@ -1,0 +1,498 @@
+"""Probabilistic alias analysis (`repro.analysis.probalias`).
+
+The load-bearing properties: the noisy-OR combiner and the estimator
+are monotone (growing a points-to set never lowers an estimate),
+hand-built fixtures produce exactly the documented probabilities
+(named/heap weights, loop-carried and call attenuation, type
+refutation, the unknown-address residual), `ProfileProbSource` keeps
+the legacy pressure numbers byte-identical, `HybridProbSource`
+backfills unprofiled stores with per-pair static estimates instead of
+the flat residual, the `AliasManager` per-statement interface handles
+the rewritten-address fallback, and static gating agrees with profiled
+gating on the real workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.alatpressure import (
+    P_ALIAS_SEEN,
+    P_ALIAS_UNSEEN,
+    analyze_module_pressure,
+)
+from repro.analysis.probalias import (
+    AGREEMENT_THRESHOLD,
+    CALL_ATTENUATION,
+    LOOP_CARRIED_ATTENUATION,
+    P_UNKNOWN,
+    W_HEAP,
+    W_NAMED,
+    HybridProbSource,
+    ProbAliasEstimator,
+    ProfileProbSource,
+    StaticProbSource,
+    combine_noisy_or,
+    compare_workload,
+    make_prob_source,
+)
+from repro.alias.manager import AliasManager
+from repro.ir import INT, ModuleBuilder
+from repro.ir.expr import Load
+from repro.ir.stmt import Call, Store
+from repro.ir.types import PointerType
+from repro.pipeline import (
+    CompilerOptions,
+    OptLevel,
+    PromotionGate,
+    SpecMode,
+    compile_source,
+)
+from repro.speclint import facts_from_pre_stats
+from repro.workloads.programs import get_workload
+from repro.workloads.runner import SPECULATIVE
+
+
+# -- helpers -----------------------------------------------------------
+
+
+def compile_mc(source: str, spec: str = "none", train=None):
+    opts = CompilerOptions(
+        opt_level=OptLevel.O3,
+        spec_mode=SpecMode(spec),
+        promotion_gate=PromotionGate.OFF,
+    )
+    return compile_source(source, opts, train_args=train, name="fixture")
+
+
+def fresh_am(output) -> AliasManager:
+    """An AliasManager over the *final* module.  The pipeline's own
+    manager predates the later rewriting passes, so fixture stores can
+    carry expressions it never registered; rebuilding keeps the
+    hand-computed tests about the probability model, not eid staleness."""
+    return AliasManager(output.module)
+
+
+def stores_of(output) -> list[Store]:
+    return [
+        s
+        for fn in output.module.iter_functions()
+        for s in fn.iter_stmts()
+        if isinstance(s, Store)
+    ]
+
+
+def global_oid(am: AliasManager, output, name: str) -> int:
+    (g,) = [v for v in output.module.globals if v.name == name]
+    obj = am.object_of_var(g)
+    assert obj is not None
+    return obj.id
+
+
+#: a store through a two-target pointer, outside any loop
+TWO_TARGET_SRC = """
+int a; int b; int c;
+int main(int n) {
+    int *q;
+    if (n > 100) { q = &a; } else { q = &b; }
+    *q = n;
+    print(a); print(b); print(c);
+    return 0;
+}
+"""
+
+
+# -- the noisy-OR combiner ---------------------------------------------
+
+
+def test_noisy_or_hand_values():
+    assert combine_noisy_or([]) == 0.0
+    assert combine_noisy_or([0.35]) == pytest.approx(0.35)
+    assert combine_noisy_or([0.35, 0.35]) == pytest.approx(1 - 0.65**2)
+    assert combine_noisy_or([1.0, 0.1]) == pytest.approx(1.0)
+    # out-of-range weights clamp instead of corrupting the product
+    assert combine_noisy_or([2.0]) == pytest.approx(1.0)
+    assert combine_noisy_or([-0.5]) == 0.0
+
+
+@given(st.lists(st.floats(0, 1), max_size=8), st.floats(0, 1))
+def test_noisy_or_monotone_in_weights(weights, extra):
+    """Adding an overlap object never lowers the estimate."""
+    base = combine_noisy_or(weights)
+    assert 0.0 <= base <= 1.0
+    assert combine_noisy_or(weights + [extra]) >= base - 1e-12
+
+
+@given(st.lists(st.floats(0, 1), max_size=8))
+def test_noisy_or_order_independent(weights):
+    assert combine_noisy_or(weights) == pytest.approx(
+        combine_noisy_or(list(reversed(weights)))
+    )
+
+
+# -- hand-computed fixture estimates -----------------------------------
+
+
+def test_disjoint_targets_probability_zero():
+    out = compile_mc(TWO_TARGET_SRC)
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    (store,) = stores_of(out)
+    e = est.estimate_store(None, store, frozenset({global_oid(am, out, "c")}))
+    assert e.prob == 0.0
+    assert e.features["overlap"] == 0
+    assert e.features["type_refuted"] is False
+
+
+def test_named_overlap_is_per_object_weight():
+    out = compile_mc(TWO_TARGET_SRC)
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    (store,) = stores_of(out)
+    a, b = global_oid(am, out, "a"), global_oid(am, out, "b")
+    one = est.estimate_store(None, store, frozenset({a}))
+    assert one.prob == pytest.approx(W_NAMED)
+    assert one.features["loop_carried"] is False
+    assert one.features["overlap"] == 1
+    both = est.estimate_store(None, store, frozenset({a, b}))
+    assert both.prob == pytest.approx(combine_noisy_or([W_NAMED, W_NAMED]))
+
+
+def test_estimator_monotone_in_candidate_targets():
+    """Growing the candidate's home set never lowers the estimate."""
+    out = compile_mc(TWO_TARGET_SRC)
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    (store,) = stores_of(out)
+    a, b, c = (global_oid(am, out, n) for n in "abc")
+    grown = [
+        est.estimate_store(None, store, frozenset(s)).prob
+        for s in ({c}, {a}, {a, c}, {a, b}, {a, b, c})
+    ]
+    assert grown == sorted(grown)
+
+
+def test_heap_overlap_uses_heap_weight():
+    out = compile_mc(
+        """
+        int main(int n) {
+            int *q;
+            q = alloc(int, 4);
+            *q = n;
+            print(*q);
+            return 0;
+        }
+        """
+    )
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    (store,) = stores_of(out)
+    writes = am.store_write_ids(store)
+    assert len(writes) == 1  # the allocation-site object
+    e = est.estimate_store(None, store, writes)
+    assert e.prob == pytest.approx(W_HEAP)
+    assert e.features["heap_overlap"] == 1
+
+
+def test_loop_carried_address_attenuates():
+    """An address recomputed inside the store's loop halves the
+    per-object weight; the same pointer stored outside stays full."""
+    out = compile_mc(
+        """
+        int a; int b;
+        int main(int n) {
+            int *q;
+            q = &a;
+            int i = 0;
+            while (i < n) {
+                if (i > 2) { q = &a; } else { q = &b; }
+                *q = i;
+                i = i + 1;
+            }
+            q = &b;
+            *q = 0;
+            print(a); print(b);
+            return 0;
+        }
+        """
+    )
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    stores = stores_of(out)
+    assert len(stores) == 2
+    targets = frozenset({global_oid(am, out, "a")})
+    ests = [est.estimate_store(None, s, targets) for s in stores]
+    # block iteration order need not follow source order; the carried
+    # flag itself identifies the in-loop store
+    carried = {e.features["loop_carried"] for e in ests}
+    assert carried == {True, False}
+    e_in = next(e for e in ests if e.features["loop_carried"])
+    e_out = next(e for e in ests if not e.features["loop_carried"])
+    assert e_in.prob == pytest.approx(W_NAMED * LOOP_CARRIED_ATTENUATION)
+    assert e_out.prob == pytest.approx(W_NAMED)
+    assert e_in.prob < e_out.prob
+
+
+def test_loop_invariant_address_not_attenuated():
+    out = compile_mc(
+        """
+        int a; int b;
+        int main(int n) {
+            int *q;
+            if (n > 100) { q = &a; } else { q = &b; }
+            int i = 0;
+            while (i < n) {
+                *q = i;
+                i = i + 1;
+            }
+            print(a); print(b);
+            return 0;
+        }
+        """
+    )
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    (store,) = stores_of(out)
+    e = est.estimate_store(None, store, frozenset({global_oid(am, out, "a")}))
+    assert e.features["loop_carried"] is False
+    assert e.prob == pytest.approx(W_NAMED)
+
+
+def test_call_overlap_attenuated():
+    out = compile_mc(
+        """
+        int g; int h;
+        int writeg(int v) { g = v; return 0; }
+        int main(int n) {
+            int r = writeg(n);
+            print(g); print(h);
+            return r;
+        }
+        """
+    )
+    am = fresh_am(out)
+    est = ProbAliasEstimator(out.module, am)
+    main_fn = output_fn(out, "main")
+    (call,) = [
+        s
+        for s in main_fn.iter_stmts()
+        if isinstance(s, Call) and s.callee == "writeg"
+    ]
+    hit = est.estimate_call(
+        main_fn, call, frozenset({global_oid(am, out, "g")})
+    )
+    assert hit.prob == pytest.approx(W_NAMED * CALL_ATTENUATION)
+    assert hit.features["callee"] == "writeg"
+    miss = est.estimate_call(
+        main_fn, call, frozenset({global_oid(am, out, "h")})
+    )
+    assert miss.prob == 0.0
+
+
+def output_fn(output, name):
+    return next(
+        fn for fn in output.module.iter_functions() if fn.name == name
+    )
+
+
+# -- unknown addresses & the AliasManager fallback ---------------------
+
+
+def manager_fixture_module():
+    """One module exercising every per-statement manager query: a store
+    through a pointer temp the points-to solution never saw (as
+    promotion leaves behind), a resolved store through ``p -> {a}``,
+    and loads of both globals."""
+    mb = ModuleBuilder("m")
+    a = mb.global_var("a", INT, init=1)
+    b = mb.global_var("b", INT, init=2)
+    fb = mb.function("main", [], INT)
+    p = fb.temp(PointerType(INT), "p")
+    fb.assign(p, fb.addr(a))
+    t = fb.temp(PointerType(INT), "t")  # never assigned: unknown
+    unknown_store = fb.store(fb.read(t), 7)
+    known_store = fb.store(fb.read(p), 3)
+    load_a = fb.load(fb.addr(a))
+    load_b = fb.load(fb.addr(b))
+    fb.ret(fb.add(load_a, load_b))
+    fb.finish()
+    mb.finish()
+    return mb.module, a, b, p, t, unknown_store, known_store, load_a, load_b
+
+
+def test_unknown_store_gets_residual_probability():
+    module, a, *_rest = manager_fixture_module()
+    _b, _p, _t, unknown_store, _known, _la, _lb = _rest
+    am = AliasManager(module)
+    est = ProbAliasEstimator(module, am)
+    e = est.estimate_store(
+        None, unknown_store, frozenset({am.object_of_var(a).id})
+    )
+    assert e.prob == pytest.approx(P_UNKNOWN)
+    assert e.features["unknown"] is True
+
+
+def test_store_write_ids_fallback_through_var_by_temp():
+    module, a, _b, p, t, unknown_store, _known, _la, _lb = (
+        manager_fixture_module()
+    )
+    am = AliasManager(module)
+    assert am.store_write_ids(unknown_store) == frozenset()
+    mapped = am.store_write_ids(unknown_store, var_by_temp={t.id: p.id})
+    assert mapped == frozenset({am.object_of_var(a).id})
+
+
+def test_may_alias_load_store_queries():
+    module, _a, _b, _p, _t, unknown_store, known_store, load_a, load_b = (
+        manager_fixture_module()
+    )
+    am = AliasManager(module)
+    assert isinstance(load_b, Load)
+    # unknown store targets conservatively alias everything
+    assert am.may_alias_load_store(load_b, unknown_store) is True
+    # resolved store: overlap decides
+    assert am.may_alias_load_store(load_a, known_store) is True
+    assert am.may_alias_load_store(load_b, known_store) is False
+
+
+# -- ProbSource wiring --------------------------------------------------
+
+
+def gzip_compiled():
+    w = get_workload("gzip")
+    opts = SPECULATIVE()
+    opts.promotion_gate = PromotionGate.OFF
+    return compile_source(
+        w.source, opts, train_args=list(w.train_args), name="gzip"
+    )
+
+
+@pytest.fixture(scope="module")
+def gzip_output():
+    return gzip_compiled()
+
+
+def pressure_kwargs(output):
+    facts = facts_from_pre_stats(output.pre_stats, output.alias_manager)
+    return dict(
+        alat=output.options.machine.alat,
+        am=output.alias_manager,
+        targets_by_temp=facts.targets_by_temp,
+    )
+
+
+def test_profile_source_matches_legacy_pressure_numbers(gzip_output):
+    """Threading the default probabilities through ProfileProbSource
+    must not move a single p_alias (the refactor is behaviour-neutral)."""
+    kwargs = pressure_kwargs(gzip_output)
+    legacy = analyze_module_pressure(
+        gzip_output.module, profile=gzip_output.profile, **kwargs
+    )
+    explicit = analyze_module_pressure(
+        gzip_output.module,
+        profile=gzip_output.profile,
+        prob_source=ProfileProbSource(
+            gzip_output.profile, gzip_output.alias_manager
+        ),
+        **kwargs,
+    )
+    assert legacy.functions.keys() == explicit.functions.keys()
+    for fname, fp in legacy.functions.items():
+        other = explicit.functions[fname]
+        assert fp.candidates.keys() == other.candidates.keys()
+        for t, rep in fp.candidates.items():
+            assert rep.p_alias == other.candidates[t].p_alias
+            assert rep.profit == other.candidates[t].profit
+    assert legacy.demotion_plan() == explicit.demotion_plan()
+
+
+def test_pair_estimates_recorded_with_provenance(gzip_output):
+    kwargs = pressure_kwargs(gzip_output)
+    mp = analyze_module_pressure(
+        gzip_output.module,
+        prob_source=StaticProbSource(
+            ProbAliasEstimator(gzip_output.module, gzip_output.alias_manager)
+        ),
+        **kwargs,
+    )
+    pairs = [pe for fp in mp.functions.values() for pe in fp.pair_estimates]
+    assert pairs
+    for pe in pairs:
+        assert pe.source == "static"
+        assert pe.kind in ("store", "call")
+        assert 0.0 <= pe.prob <= 1.0
+
+
+def test_make_prob_source_kinds(gzip_output):
+    module = gzip_output.module
+    am = gzip_output.alias_manager
+    profile = gzip_output.profile
+    assert make_prob_source("profile", module, am, profile) is None
+    assert isinstance(
+        make_prob_source("static", module, am, profile), StaticProbSource
+    )
+    assert isinstance(
+        make_prob_source("hybrid", module, am, profile), HybridProbSource
+    )
+    # hybrid degrades to static when there is no profile to prefer
+    assert isinstance(
+        make_prob_source("hybrid", module, am, None), StaticProbSource
+    )
+    with pytest.raises(ValueError):
+        make_prob_source("psychic", module, am, profile)
+
+
+def test_hybrid_backfills_unprofiled_store_with_static_estimate():
+    """A store the training run never executed gets the per-pair static
+    estimate, not the flat P_ALIAS_UNSEEN residual."""
+    out = compile_mc(
+        """
+        int a; int b;
+        int main(int n) {
+            int *q;
+            if (n > 100) { q = &a; } else { q = &b; }
+            if (n > 100) { *q = 1; }
+            int s = 0; int i = 0;
+            while (i < n) { s = s + a; i = i + 1; }
+            *q = s;
+            print(s);
+            return 0;
+        }
+        """,
+        spec="profile",
+        train=[10],
+    )
+    am = fresh_am(out)
+    profile = out.profile
+    hybrid = HybridProbSource(
+        ProfileProbSource(profile, am),
+        StaticProbSource(ProbAliasEstimator(out.module, am)),
+    )
+    cold = [s for s in stores_of(out) if s.sid not in profile.store_targets]
+    hot = [s for s in stores_of(out) if s.sid in profile.store_targets]
+    assert cold and hot
+    targets = frozenset({global_oid(am, out, "a")})
+    fn = output_fn(out, "main")
+    est_cold = hybrid.store_prob(fn, cold[0], targets, False)
+    assert est_cold.source == "static"
+    assert est_cold.features["hybrid"] is True
+    assert est_cold.prob == pytest.approx(W_NAMED)
+    assert est_cold.prob != P_ALIAS_UNSEEN
+    est_hot = hybrid.store_prob(fn, hot[0], targets, False)
+    assert est_hot.source == "profile"
+    assert est_hot.prob in (P_ALIAS_SEEN, P_ALIAS_UNSEEN)
+
+
+# -- static vs profiled gating on the real workloads -------------------
+
+
+@pytest.mark.parametrize("bench", ["gzip", "equake", "mcf"])
+def test_static_gating_agrees_with_profiled(bench):
+    row = compare_workload(bench)
+    assert row.output_match, (
+        f"{bench}: static-only output diverged from the reference"
+    )
+    assert row.agreement >= AGREEMENT_THRESHOLD
+    assert 0.0 <= row.brier <= 0.25
+    assert not row.problems()

@@ -111,6 +111,16 @@ def test_profile_events_documented():
         assert name in design_md_events()
 
 
+def test_probalias_events_documented():
+    """The alias-probability estimate event is in both tables and
+    actually emitted (regression anchor for the probabilistic alias
+    analysis PR's schema extension)."""
+    name = "probalias.estimate"
+    assert name in trace_docstring_events()
+    assert name in design_md_events()
+    assert name in emitted_events()
+
+
 def test_span_events_documented():
     """The hierarchical-span events are in both tables (regression
     anchor for the telemetry PR's schema extension)."""
