@@ -59,6 +59,24 @@ def main(argv=None) -> int:
              "verify the harness catches and minimises it",
     )
     parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="fan the campaign out across N repro.service workers "
+             "(0 = sequential in-process, the default); programs and "
+             "verdicts are identical to the sequential campaign's",
+    )
+    parser.add_argument(
+        "--service-self-test", action="store_true",
+        help="run the service-level fault drill: kill workers, inject "
+             "hangs and corrupt cache entries mid-matrix, then assert "
+             "byte-identical results, a balanced ledger and "
+             "quarantine-and-recompute recovery",
+    )
+    parser.add_argument(
+        "--benchmarks", default=None, metavar="A,B,...",
+        help="comma-separated benchmark subset for --service-self-test "
+             "(default: the full matrix)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     parser.add_argument(
@@ -71,6 +89,34 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.runs <= 0:
         parser.error("--runs must be positive")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.benchmarks and not args.service_self_test:
+        parser.error("--benchmarks only applies to --service-self-test")
+
+    if args.service_self_test:
+        from repro.chaos.service import (
+            ChaosServiceError,
+            run_service_self_test,
+        )
+
+        try:
+            report = run_service_self_test(
+                jobs=args.jobs or 2,
+                benchmarks=(
+                    args.benchmarks.split(",") if args.benchmarks else None
+                ),
+            )
+        except ChaosServiceError as exc:
+            print(f"service chaos self-test FAILED: {exc}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            payload = report.as_dict()
+            payload["self_test"] = "passed"
+            print(json.dumps(payload, indent=2))
+        else:
+            print(report.summary())
+        return 0
 
     if args.self_test:
         try:
@@ -100,14 +146,26 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
-    report = run_campaign(
-        seed=args.seed,
-        runs=args.runs,
-        plans=default_fault_plans(args.seed, count=args.plans),
-        minimize=args.minimize,
-        failures_dir=args.failures_dir,
-        progress=progress,
-    )
+    if args.jobs:
+        from repro.chaos.service import run_campaign_service
+
+        report = run_campaign_service(
+            seed=args.seed,
+            runs=args.runs,
+            plans=default_fault_plans(args.seed, count=args.plans),
+            jobs=args.jobs,
+            minimize=args.minimize,
+            failures_dir=args.failures_dir,
+        )
+    else:
+        report = run_campaign(
+            seed=args.seed,
+            runs=args.runs,
+            plans=default_fault_plans(args.seed, count=args.plans),
+            minimize=args.minimize,
+            failures_dir=args.failures_dir,
+            progress=progress,
+        )
     if args.as_json:
         print(json.dumps(report.as_dict(), indent=2))
     else:

@@ -212,13 +212,17 @@ def _behaviour(result) -> tuple[list[str], int]:
     return (result.output, result.exit_value)
 
 
-def _check_program(
+def check_program(
     program: GeneratedProgram,
     modes: list[CompilerOptions],
     plans: list[Optional[FaultPlan]],
     report: CampaignReport,
 ) -> list[CampaignFailure]:
-    """Run one program through the full mode × plan matrix."""
+    """Run one program through the full mode × plan matrix.
+
+    Public: ``repro.service.workers`` runs exactly this per ``chaos``
+    job, with ``report`` collecting the mergeable per-program counts
+    (``runs``, ``skipped``, ``faults_injected``)."""
     try:
         oracle = run_program(
             program.source, list(program.ref_args), max_steps=INTERP_FUEL
@@ -428,7 +432,7 @@ def run_campaign(
         ]
     for program in programs:
         report.programs += 1
-        failures = _check_program(program, modes, plan_matrix, report)
+        failures = check_program(program, modes, plan_matrix, report)
         for failure in failures:
             if minimize and len(report.failures) < minimize_limit:
                 minimize_failure(failure, modes)

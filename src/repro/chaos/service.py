@@ -1,0 +1,447 @@
+"""Service-level chaos: prove the job pool's fault tolerance has teeth.
+
+The compiler-level campaign (:mod:`repro.chaos.campaign`) attacks the
+*speculation* recovery contract; this module attacks the *service*
+recovery contract with the same logic: every fault the harness injects
+is one the pool already claims to survive, so any observable difference
+from a fault-free run is a service bug.
+
+Fault kinds (:class:`ServiceFaultPlan`):
+
+``kill``     SIGKILL a random busy worker mid-job (crash isolation:
+             the in-flight job must requeue and a fresh worker spawn);
+``hang``     make a job's first attempt sleep past its wall-clock
+             budget (the deadline scan must SIGKILL the worker and the
+             retry must complete cleanly);
+``corrupt``  flip a byte inside stored cache entries between runs (the
+             checksum-verified read must quarantine and recompute, and
+             must never serve the corrupted artifact).
+
+:func:`run_service_self_test` runs the real workload matrix through a
+pool under all three faults and audits the full contract:
+
+1. every job still completes (``failed == timed_out == 0`` terminally —
+   injected hangs are retried, not surfaced);
+2. the ledger balances: ``submitted == completed + failed + timed_out``;
+3. every artifact hash is **byte-identical** to the sequential
+   ``compile_source`` path executed in-process (the oracle);
+4. after corrupting K entries, the warm run quarantines exactly K,
+   recomputes them to the same hashes, and serves the rest from cache;
+5. a final clean warm run serves 100% of jobs from the verified cache,
+   every hit's hash matching the artifact a prior miss stored.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ChaosServiceError(ReproError):
+    """The service violated its fault-tolerance contract."""
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """One reproducible service-fault schedule."""
+
+    seed: int = 0
+    #: busy workers to SIGKILL over the cold run
+    kills: int = 2
+    #: per-event-loop-tick probability of performing a pending kill
+    kill_rate: float = 0.25
+    #: jobs whose first attempt is made to hang past its deadline
+    hangs: int = 2
+    #: injected sleep (must exceed ``hang_timeout_s``)
+    hang_ms: int = 15000
+    #: clamped wall-clock budget for hang-victim jobs — long enough
+    #: that an honest retry attempt always fits, short enough that the
+    #: deadline scan fires well inside the injected sleep
+    hang_timeout_s: float = 10.0
+    #: cache entries to byte-flip between the cold and warm runs
+    corrupt: int = 3
+
+    def describe(self) -> str:
+        return (
+            f"service(kills={self.kills}, hangs={self.hangs}, "
+            f"corrupt={self.corrupt}; seed={self.seed})"
+        )
+
+
+class ServiceFaultDriver:
+    """The pool ``fault_hook``: executes one plan against a live drain.
+
+    Hang victims are chosen up front by label; their pending first
+    attempts get the artificial sleep.  Kills fire at random event-loop
+    ticks against whichever worker happens to be busy — the harness
+    deliberately does not aim, because crash isolation must hold for
+    any victim.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan,
+                 hang_victims: dict[str, int]) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        #: ``{job label: sleep ms}`` — per-victim, because the sleep
+        #: must exceed that job's (possibly scaled) wall-clock budget
+        self.hang_victims = hang_victims
+        self.kills_done = 0
+        self.hangs_injected = 0
+
+    def __call__(self, pool) -> None:
+        for _, _, job in pool._pending:
+            hang_ms = self.hang_victims.get(job.spec.label, 0)
+            if hang_ms and job.retry.attempts == 0 and not job.hang_ms:
+                job.hang_ms = hang_ms
+                self.hangs_injected += 1
+        if (self.kills_done < self.plan.kills
+                and self.rng.random() < self.plan.kill_rate):
+            if pool.kill_random_busy_worker(self.rng):
+                self.kills_done += 1
+
+
+def corrupt_cache_entries(cache_root: str, count: int,
+                          rng: random.Random) -> list[str]:
+    """Flip one byte inside the artifact region of ``count`` stored
+    entries; returns the corrupted keys."""
+    root = Path(cache_root)
+    entries = sorted(
+        p for p in root.glob("??/*.json") if p.parent.name != "quarantine"
+    )
+    victims = rng.sample(entries, min(count, len(entries)))
+    corrupted = []
+    for path in victims:
+        data = bytearray(path.read_bytes())
+        # Aim inside the artifact value so the defect is always a
+        # quarantine (checksum/parse), never a quiet stale-version miss.
+        anchor = bytes(data).find(b'"artifact"')
+        at = (anchor + 12) if anchor >= 0 else len(data) // 2
+        at = min(at + rng.randrange(16), len(data) - 2)
+        data[at] ^= 0x01
+        path.write_bytes(bytes(data))
+        corrupted.append(path.stem)
+    return corrupted
+
+
+@dataclass
+class ServiceChaosReport:
+    """Everything the self-test measured, for the CLI to print."""
+
+    plan: ServiceFaultPlan
+    benchmarks: list[str] = field(default_factory=list)
+    kills_performed: int = 0
+    hangs_injected: int = 0
+    corrupted: int = 0
+    quarantined: int = 0
+    cold_ledger: Optional[dict] = None
+    recovery_ledger: Optional[dict] = None
+    warm_ledger: Optional[dict] = None
+    reference_shas: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "plan": self.plan.describe(),
+            "benchmarks": self.benchmarks,
+            "kills_performed": self.kills_performed,
+            "hangs_injected": self.hangs_injected,
+            "corrupted": self.corrupted,
+            "quarantined": self.quarantined,
+            "cold_ledger": self.cold_ledger,
+            "recovery_ledger": self.recovery_ledger,
+            "warm_ledger": self.warm_ledger,
+            "reference_shas": dict(sorted(self.reference_shas.items())),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"service chaos: {self.plan.describe()} over "
+            f"{len(self.benchmarks)} benchmark(s)",
+            f"  kills={self.kills_performed} hangs={self.hangs_injected} "
+            f"corrupted={self.corrupted} quarantined={self.quarantined}",
+        ]
+        for label, ledger in (("cold", self.cold_ledger),
+                              ("recovery", self.recovery_ledger),
+                              ("warm", self.warm_ledger)):
+            if ledger:
+                lines.append(
+                    f"  {label}: completed={ledger['completed']}"
+                    f"/{ledger['submitted']} retries={ledger['retries']} "
+                    f"cache={ledger['cache_hits']}"
+                    f"/{ledger['cache_hits'] + ledger['cache_misses']}"
+                )
+        lines.append(
+            "  all artifacts byte-identical to sequential compile_source"
+        )
+        return "\n".join(lines)
+
+
+def _sequential_reference(specs) -> tuple[dict[str, str], dict[str, float]]:
+    """Oracle: the exact worker handler, in-process and fault-free.
+    Returns ``({label: artifact sha}, {label: wall seconds})`` — the
+    timings calibrate hang-victim deadlines so an honest retry always
+    fits its budget even on a loaded host."""
+    import time
+
+    from repro.service.cache import artifact_sha
+    from repro.service.workers import HANDLERS
+    from repro.workloads.runner import clear_cache
+
+    shas: dict[str, str] = {}
+    walls: dict[str, float] = {}
+    for spec in specs:
+        clear_cache()
+        t0 = time.perf_counter()
+        artifact, _ = HANDLERS[spec.kind](spec.payload, {"attempt": 1,
+                                                         "worker": -1})
+        walls[spec.label] = time.perf_counter() - t0
+        shas[spec.label] = artifact_sha(artifact)
+    return shas, walls
+
+
+def run_campaign_service(
+    seed: int = 0,
+    runs: int = 200,
+    modes=None,
+    plans=None,
+    jobs: int = 2,
+    minimize: bool = False,
+    minimize_limit: int = 5,
+    failures_dir: Optional[str] = "chaos/failures",
+    obs=None,
+):
+    """The differential chaos campaign fanned out over the job pool.
+
+    Programs are generated in the parent (so the stream is identical to
+    the sequential campaign's) and shipped to workers one ``chaos`` job
+    per program; each worker runs the full mode × plan matrix for its
+    program and returns mergeable report increments.  Minimisation, the
+    expensive sequential tail, stays in the parent.  A job the pool
+    could not complete (crash budget, timeout) is an honest ``crash``
+    campaign failure — fault tolerance must not hide broken runs.
+    """
+    from repro.chaos.campaign import (
+        CampaignFailure,
+        CampaignReport,
+        default_modes,
+        minimize_failure,
+        write_failure_artifacts,
+    )
+    from repro.chaos.faults import FaultPlan, default_fault_plans
+    from repro.chaos.generator import generate_program
+    from repro.service.job import JobSpec, options_to_dict
+    from repro.service.pool import JobPool
+
+    modes = modes if modes is not None else default_modes()
+    plans = plans if plans is not None else default_fault_plans(seed)
+    programs = [
+        generate_program(random.Random(f"{seed}:{i}"), i)
+        for i in range(runs)
+    ]
+    mode_dicts = [options_to_dict(m) for m in modes]
+    plan_dicts = [None] + [p.as_dict() for p in plans]
+    specs = [
+        JobSpec(
+            kind="chaos",
+            payload={
+                "name": p.name,
+                "source": p.source,
+                "ref_args": list(p.ref_args),
+                "train_args": list(p.train_args),
+                "modes": mode_dicts,
+                "plans": plan_dicts,
+                "seed": seed,
+            },
+            label=f"chaos:{p.name}",
+        )
+        for p in programs
+    ]
+
+    report = CampaignReport(seed=seed)
+    with JobPool(jobs=jobs, obs=obs) as pool:
+        results = pool.run(specs)
+    for jr in results:
+        report.programs += 1
+        if not jr.ok:
+            report.failures.append(
+                CampaignFailure(
+                    program=jr.spec.payload["name"],
+                    kind="crash",
+                    mode="<service>",
+                    plan=FaultPlan(),
+                    detail=(
+                        f"service {jr.state}: "
+                        + (jr.error.format() if jr.error else "no result")
+                    ),
+                    source=jr.spec.payload["source"],
+                    ref_args=tuple(jr.spec.payload["ref_args"]),
+                    train_args=tuple(jr.spec.payload["train_args"]),
+                )
+            )
+            continue
+        artifact = jr.artifact
+        report.runs += artifact["runs"]
+        report.skipped += artifact["skipped"]
+        report.note_faults(artifact["faults_injected"])
+        for fd in artifact["failures"]:
+            failure = CampaignFailure(
+                program=fd["program"],
+                kind=fd["kind"],
+                mode=fd["mode"],
+                plan=FaultPlan(**fd["plan"]),
+                detail=fd["detail"],
+                source=fd["source"],
+                ref_args=tuple(fd["ref_args"]),
+                train_args=tuple(fd["train_args"]),
+            )
+            if minimize and len(report.failures) < minimize_limit:
+                minimize_failure(failure, modes)
+            if failures_dir is not None:
+                write_failure_artifacts(
+                    failure, failures_dir, len(report.failures)
+                )
+            report.failures.append(failure)
+    return report
+
+
+def run_service_self_test(
+    jobs: int = 2,
+    benchmarks: Optional[list[str]] = None,
+    plan: Optional[ServiceFaultPlan] = None,
+    cache_dir: Optional[str] = None,
+    obs=None,
+) -> ServiceChaosReport:
+    """The full service chaos sequence; raises
+    :class:`ChaosServiceError` on any contract violation."""
+    import tempfile
+
+    from repro.service.cache import ArtifactCache
+    from repro.service.job import ServiceLedger
+    from repro.service.matrix import build_matrix_specs
+    from repro.service.pool import JobPool
+    from repro.service.retry import RetryPolicy
+
+    plan = plan or ServiceFaultPlan()
+    cache_dir = cache_dir or tempfile.mkdtemp(prefix="repro-service-chaos-")
+    rng = random.Random(plan.seed)
+    report = ServiceChaosReport(plan=plan)
+
+    def fresh_specs():
+        return build_matrix_specs(benchmarks)
+
+    specs = fresh_specs()
+    report.benchmarks = [s.payload["bench"] for s in specs]
+    victim_labels = [
+        s.label for s in rng.sample(specs, min(plan.hangs, len(specs)))
+    ]
+
+    reference, walls = _sequential_reference(specs)
+    report.reference_shas = reference
+
+    # Per-victim deadline: generous against its own honest runtime (a
+    # contended retry must fit), tight against the injected sleep.
+    hang_victims: dict[str, int] = {}
+    for spec in specs:
+        if spec.label in victim_labels:
+            budget = max(plan.hang_timeout_s, 6.0 * walls[spec.label])
+            spec.timeout_s = budget
+            hang_victims[spec.label] = max(
+                plan.hang_ms, int(budget * 1500)
+            )
+
+    def check(label: str, ledger: ServiceLedger, results) -> None:
+        if not ledger.balanced():
+            raise ChaosServiceError(
+                f"{label}: ledger out of balance: {ledger.format()}"
+            )
+        if ledger.failed or ledger.timed_out:
+            raise ChaosServiceError(
+                f"{label}: injected faults surfaced as terminal "
+                f"failures: {ledger.format()}"
+            )
+        for jr in results:
+            if jr.artifact_sha != reference[jr.spec.label]:
+                raise ChaosServiceError(
+                    f"{label}: {jr.spec.label} artifact hash "
+                    f"{jr.artifact_sha} != sequential reference "
+                    f"{reference[jr.spec.label]} — the service served a "
+                    "wrong answer"
+                )
+
+    # -- cold run under kills + hangs -----------------------------------
+    driver = ServiceFaultDriver(plan, hang_victims)
+    cache = ArtifactCache(cache_dir, obs=obs)
+    # Timeouts must be retryable or injected hangs would go terminal.
+    policy = RetryPolicy(retry_timeouts=True)
+    with JobPool(jobs=jobs, cache=cache, obs=obs, retry_policy=policy,
+                 crash_budget=plan.kills + 4, rng=random.Random(plan.seed),
+                 fault_hook=driver) as pool:
+        cold = pool.run(specs)
+        check("cold", pool.ledger, cold)
+        if pool.ledger.worker_crashes < driver.kills_done:
+            raise ChaosServiceError(
+                f"cold: {driver.kills_done} kill(s) performed but only "
+                f"{pool.ledger.worker_crashes} crash(es) accounted"
+            )
+        if hang_victims and not pool.ledger.timeout_attempts:
+            raise ChaosServiceError(
+                "cold: hangs injected but no attempt ever hit its "
+                "deadline — the timeout path never ran"
+            )
+        report.kills_performed = driver.kills_done
+        report.hangs_injected = driver.hangs_injected
+        report.cold_ledger = pool.ledger.as_dict()
+        misses_stored = {
+            jr.spec.cache_key: jr.artifact_sha
+            for jr in cold if not jr.from_cache
+        }
+
+    # -- corrupt K entries, then recover --------------------------------
+    corrupted = corrupt_cache_entries(cache_dir, plan.corrupt, rng)
+    report.corrupted = len(corrupted)
+    cache = ArtifactCache(cache_dir, obs=obs)
+    with JobPool(jobs=jobs, cache=cache, obs=obs) as pool:
+        recovery = pool.run(fresh_specs())
+        check("recovery", pool.ledger, recovery)
+        if cache.stats.quarantined != len(corrupted):
+            raise ChaosServiceError(
+                f"recovery: corrupted {len(corrupted)} entries but "
+                f"quarantined {cache.stats.quarantined} — a corrupt "
+                "entry was served or lost"
+            )
+        expected_hits = len(recovery) - len(corrupted)
+        if pool.ledger.cache_hits != expected_hits:
+            raise ChaosServiceError(
+                f"recovery: expected {expected_hits} cache hits, got "
+                f"{pool.ledger.cache_hits}"
+            )
+        report.quarantined = cache.stats.quarantined
+        report.recovery_ledger = pool.ledger.as_dict()
+        misses_stored.update({
+            jr.spec.cache_key: jr.artifact_sha
+            for jr in recovery if not jr.from_cache
+        })
+
+    # -- clean warm run: 100% verified hits -----------------------------
+    cache = ArtifactCache(cache_dir, obs=obs)
+    with JobPool(jobs=jobs, cache=cache, obs=obs) as pool:
+        warm = pool.run(fresh_specs())
+        check("warm", pool.ledger, warm)
+        if pool.ledger.cache_hits != len(warm) or pool.ledger.cache_misses:
+            raise ChaosServiceError(
+                f"warm: expected 100% cache hits, got "
+                f"{pool.ledger.cache_hits}/{len(warm)}"
+            )
+        for jr in warm:
+            if misses_stored.get(jr.spec.cache_key) != jr.artifact_sha:
+                raise ChaosServiceError(
+                    f"warm: {jr.spec.label} hit hash {jr.artifact_sha} "
+                    "does not match the artifact a prior miss stored"
+                )
+        report.warm_ledger = pool.ledger.as_dict()
+
+    return report

@@ -36,6 +36,14 @@ serialised first and appended as one complete line in a single write
 call, so a crash mid-ingest never leaves a torn line that poisons the
 store — the reader additionally tolerates (and reports) a torn final
 line left by a hard kill mid-``write``.
+
+Concurrency: every append takes an **advisory exclusive lock** on its
+shard (``fcntl.flock``) around the newline-repair check and the single
+flushed write, so parallel writers — e.g. ``repro.service`` workers all
+ingesting with ``--store`` — serialise per shard and can never
+interleave bytes of two records, even when the OS does not guarantee
+atomicity for large ``O_APPEND`` writes.  Readers take no lock (every
+complete line is valid on its own).
 """
 
 from __future__ import annotations
@@ -51,6 +59,11 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ReproError
+
+try:  # POSIX; on platforms without flock the single-write append
+    import fcntl  # still keeps individual records intact
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 #: record format version; bump when the record shape changes
 SCHEMA_VERSION = 1
@@ -258,9 +271,11 @@ class ResultsStore:
         """Append one record; returns its ``run_id``.
 
         The record is validated and serialised *before* the file is
-        touched; the line is appended in a single write and flushed, so
-        every line present in a shard is complete.  ``obs`` (a
-        :class:`repro.obs.TraceContext`) gets one ``store.ingest``
+        touched; the line is appended in a single flushed write while
+        holding an exclusive ``flock`` on the shard, so concurrent
+        writers (service workers, parallel CLI runs) serialise per
+        shard and every line present in a shard is complete.  ``obs``
+        (a :class:`repro.obs.TraceContext`) gets one ``store.ingest``
         event per record.
         """
         for key in REQUIRED_KEYS:
@@ -272,14 +287,24 @@ class ResultsStore:
             raise StoreError("run record serialised with embedded newline")
         path = self.shard_path(record["run_id"])
         self.root.mkdir(parents=True, exist_ok=True)
-        # A writer killed mid-append can leave the shard without its
-        # trailing newline; start on a fresh line so the torn fragment
-        # stays isolated instead of corrupting this record too.
-        if not _ends_with_newline(path):
-            line = "\n" + line
-        with open(path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
+        with open(path, "ab+") as fh:
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                # A writer killed mid-append can leave the shard without
+                # its trailing newline; the check happens under the lock
+                # (and against the live handle) so a concurrent append
+                # can't race the repair.  Start on a fresh line so the
+                # torn fragment stays isolated instead of corrupting
+                # this record too.
+                data = line.encode("utf-8") + b"\n"
+                if not _handle_ends_with_newline(fh):
+                    data = b"\n" + data
+                fh.write(data)
+                fh.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         if obs is not None:
             obs.event(
                 "store.ingest",
@@ -395,16 +420,16 @@ class ResultsStore:
         return report
 
 
-def _ends_with_newline(path: Path) -> bool:
-    try:
-        size = path.stat().st_size
-    except OSError:
-        return True  # no file yet: nothing to repair
-    if size == 0:
-        return True
-    with open(path, "rb") as fh:
-        fh.seek(-1, os.SEEK_END)
-        return fh.read(1) == b"\n"
+def _handle_ends_with_newline(fh) -> bool:
+    """Whether the open binary handle's file ends with a newline.
+
+    Used under the ingest ``flock`` so the check reflects the file's
+    state at lock-acquisition time, not at open time.
+    """
+    if fh.seek(0, os.SEEK_END) == 0:
+        return True  # empty (or brand-new) shard: nothing to repair
+    fh.seek(-1, os.SEEK_END)
+    return fh.read(1) == b"\n"
 
 
 def _json_fallback(value):

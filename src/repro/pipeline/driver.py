@@ -295,11 +295,15 @@ def compile_source(
     profile: Optional[AliasProfile] = None,
     name: str = "program",
     obs: Optional[TraceContext] = None,
+    max_steps: Optional[int] = None,
 ) -> CompileOutput:
     """Compile MiniC source under the given options.
 
     ``train_args`` drive the profiling run for ``SpecMode.PROFILE`` /
-    ``SOFTWARE`` when no ready-made ``profile`` is supplied.
+    ``SOFTWARE`` when no ready-made ``profile`` is supplied;
+    ``max_steps`` bounds that interpreter run (fuel), so a runaway
+    training input raises :class:`repro.errors.InterpTimeout` instead
+    of hanging the compilation.
 
     ``obs`` threads a :class:`repro.obs.TraceContext` through every
     phase (timers, speculation decisions, codegen stats); omitted, a
@@ -315,7 +319,10 @@ def compile_source(
     needs_profile = opts.spec_mode in (SpecMode.PROFILE, SpecMode.SOFTWARE)
     if needs_profile and profile is None:
         with obs.phase("profile") as info:
-            profile, _ = collect_alias_profile(module, train_args)
+            profile, _ = collect_alias_profile(
+                module, train_args,
+                **({"max_steps": max_steps} if max_steps is not None else {}),
+            )
             info["train_args"] = list(train_args or [])
 
     attempts = [opts] + (_fallback_ladder(opts) if opts.fallback else [])

@@ -1,0 +1,80 @@
+"""Bounded retries with exponential backoff and jitter.
+
+The policy is pure arithmetic over an injected RNG, and the schedule
+(:class:`RetryState`) is pure arithmetic over an injected clock — the
+pool threads real time through them, the tests thread a fake clock and
+a seeded RNG, so attempt times, jitter bounds, and the give-up point
+are all deterministic assertions (no sleeps in tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed attempts are rescheduled.
+
+    ``max_attempts`` counts every execution of the job including the
+    first, so ``max_attempts=3`` means one initial attempt plus at most
+    two retries.  Delay for the retry after attempt *k* (1-based) is
+    ``min(max_delay, base_delay * factor**(k-1))``, then jittered
+    multiplicatively by up to ``±jitter`` so a batch of jobs failing
+    together does not retry in lockstep.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    #: whether a wall-clock timeout consumes a retry (True: a hung
+    #: attempt is presumed transient — e.g. a loaded machine — and the
+    #: job only lands in the terminal ``timeout`` state once the budget
+    #: is gone).  False marks the job ``timeout`` on the first deadline.
+    retry_timeouts: bool = True
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay (seconds) before the retry that follows the
+        ``attempt``-th failed execution (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+class RetryState:
+    """Per-job retry bookkeeping against one policy.
+
+    :meth:`record_failure` returns the absolute time (on the caller's
+    clock) before which the job must not be re-attempted, or ``None``
+    when the budget is exhausted and the job must go terminal.
+    """
+
+    def __init__(self, policy: RetryPolicy, rng: random.Random) -> None:
+        self.policy = policy
+        self.rng = rng
+        #: executions so far (the pool increments via record_failure /
+        #: record_start)
+        self.attempts = 0
+        self.last_delay: Optional[float] = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.policy.max_attempts
+
+    def record_failure(self, now: float, timeout: bool = False) -> Optional[float]:
+        """One attempt just failed at time ``now``.  Returns the
+        earliest re-attempt time, or ``None`` to give up."""
+        self.attempts += 1
+        if timeout and not self.policy.retry_timeouts:
+            return None
+        if self.exhausted:
+            return None
+        self.last_delay = self.policy.backoff(self.attempts, self.rng)
+        return now + self.last_delay

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ReproError, SourceError
+from repro.errors import InterpTimeout, ReproError, SourceError
 from repro.machine.counters import Counters
 from repro.machine.cpu import MachineConfig, MachineResult
 from repro.obs import JsonlSink, TraceContext
@@ -26,6 +26,12 @@ from repro.pipeline import (
     run_program,
 )
 from repro.workloads.programs import BENCHMARKS, Workload, get_workload
+
+#: default interpreter fuel per workload run (oracle + profile train).
+#: Generous — the ref inputs retire a few million steps — but finite,
+#: so a runaway workload surfaces as a structured ``timeout`` failure
+#: (:class:`repro.errors.InterpTimeout`) instead of hanging the matrix.
+DEFAULT_INTERP_FUEL = 50_000_000
 
 
 def BASELINE() -> CompilerOptions:
@@ -69,10 +75,14 @@ class WorkloadFailure:
     error: str
     #: ``line:column`` when the exception carried a source location
     loc: Optional[str] = None
+    #: failure class: ``"error"`` or ``"timeout"`` (interpreter fuel /
+    #: service wall-clock exhausted) — what CI and the service report
+    kind: str = "error"
 
     def format(self) -> str:
         where = f" at {self.loc}" if self.loc else ""
-        return f"{self.name}{where}: {self.exc_type}: {self.error}"
+        tag = " [timeout]" if self.kind == "timeout" else ""
+        return f"{self.name}{where}: {self.exc_type}: {self.error}{tag}"
 
 
 class WorkloadMatrixError(ReproError):
@@ -205,6 +215,7 @@ def _run_mode(
     expected_output: list[str],
     obs: Optional[TraceContext] = None,
     profile: bool = False,
+    fuel: int = DEFAULT_INTERP_FUEL,
 ) -> ModeResult:
     output = compile_source(
         workload.source,
@@ -212,6 +223,7 @@ def _run_mode(
         train_args=list(workload.train_args),
         name=workload.name,
         obs=obs,
+        max_steps=fuel,
     )
     try:
         machine = output.run(list(workload.ref_args), profile=profile)
@@ -235,6 +247,7 @@ def run_benchmark(
     trace_dir: Optional[str] = None,
     profile_sites: bool = False,
     spec_options: Optional[CompilerOptions] = None,
+    fuel: Optional[int] = None,
 ) -> BenchmarkResult:
     """Measure one benchmark: baseline + speculative (+ extras).
 
@@ -245,11 +258,14 @@ def run_benchmark(
     results-store records carry per-site collision/eviction stats.
     ``spec_options`` replaces the default profile-guided treatment
     (e.g. ``STATIC_SPECULATIVE()`` for the no-profile sweep).
+    ``fuel`` bounds every interpreter run (the reference oracle and the
+    profile-training run); default :data:`DEFAULT_INTERP_FUEL`.
     """
+    fuel = fuel if fuel is not None else DEFAULT_INTERP_FUEL
     key = (name, id(machine_config) if machine_config else None,
            tuple(sorted(extra_modes)) if extra_modes else None,
            trace_dir, profile_sites,
-           spec_options.describe() if spec_options else None)
+           spec_options.describe() if spec_options else None, fuel)
     if use_cache and key in _cache:
         return _cache[key]
 
@@ -264,7 +280,9 @@ def run_benchmark(
         )
 
     workload = get_workload(name)
-    reference = run_program(workload.source, list(workload.ref_args))
+    reference = run_program(
+        workload.source, list(workload.ref_args), max_steps=fuel
+    )
 
     base_opts = BASELINE()
     spec_opts = spec_options if spec_options is not None else SPECULATIVE()
@@ -276,11 +294,11 @@ def run_benchmark(
         workload,
         baseline=_run_mode(
             workload, "baseline", base_opts, reference.output,
-            _obs("baseline"), profile=profile_sites,
+            _obs("baseline"), profile=profile_sites, fuel=fuel,
         ),
         speculative=_run_mode(
             workload, "speculative", spec_opts, reference.output,
-            _obs("speculative"), profile=profile_sites,
+            _obs("speculative"), profile=profile_sites, fuel=fuel,
         ),
     )
     for label, options in (extra_modes or {}).items():
@@ -288,7 +306,7 @@ def run_benchmark(
             options.machine = machine_config
         result.extras[label] = _run_mode(
             workload, label, options, reference.output, _obs(label),
-            profile=profile_sites,
+            profile=profile_sites, fuel=fuel,
         )
 
     if use_cache:
@@ -302,6 +320,7 @@ def run_all_benchmarks(
     failures: Optional[list[WorkloadFailure]] = None,
     profile_sites: bool = False,
     spec_options: Optional[CompilerOptions] = None,
+    fuel: Optional[int] = None,
 ) -> dict[str, BenchmarkResult]:
     """All ten benchmarks, in the paper's reporting order.
 
@@ -319,13 +338,18 @@ def run_all_benchmarks(
             results[name] = run_benchmark(
                 name, machine_config, trace_dir=trace_dir,
                 profile_sites=profile_sites, spec_options=spec_options,
+                fuel=fuel,
             )
         except Exception as exc:
             loc = None
             if isinstance(exc, SourceError) and exc.line:
                 loc = f"{exc.line}:{exc.column}"
             collected.append(
-                WorkloadFailure(name, type(exc).__name__, str(exc), loc)
+                WorkloadFailure(
+                    name, type(exc).__name__, str(exc), loc,
+                    kind="timeout" if isinstance(exc, InterpTimeout)
+                    else "error",
+                )
             )
     if failures is None and collected:
         raise WorkloadMatrixError(collected, results)

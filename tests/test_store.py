@@ -553,3 +553,44 @@ def test_cli_tables_check_exit_code(tmp_path, capsys):
         ["--store", str(store.root), "tables", "--out", out_dir, "--check"]
     ) == 1
     assert "stale derived tables" in capsys.readouterr().err
+
+
+# -- concurrent writers (advisory per-shard flock) ----------------------
+
+
+def _stress_writer(root: str, wid: int, n: int) -> None:
+    store = ResultsStore(root)
+    for i in range(n):
+        rec = make_record(
+            "gzip", "baseline", metrics={"counters": {"iteration": i}}
+        )
+        # Pin every record to one shard so all writers contend on the
+        # same file — the worst case for interleaved appends.
+        rec["run_id"] = f"a{wid:02d}{i:06d}"
+        store.ingest(rec)
+
+
+def test_concurrent_ingest_same_shard_never_tears(tmp_path):
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    root = str(tmp_path)
+    workers, per_worker = 4, 40
+    procs = [
+        ctx.Process(target=_stress_writer, args=(root, w, per_worker))
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+    assert all(p.exitcode == 0 for p in procs)
+
+    store = ResultsStore(root)
+    records = store.records()
+    assert store.torn_lines == 0
+    ids = {r["run_id"] for r in records}
+    assert len(records) == len(ids) == workers * per_worker
+    # One shard took every append (the run_ids force it), and each line
+    # parses on its own — no interleaved bytes.
+    assert [p.name for p in store.shard_paths()] == ["records-a.jsonl"]

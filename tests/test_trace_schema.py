@@ -128,3 +128,12 @@ def test_span_events_documented():
         assert name in trace_docstring_events()
         assert name in design_md_events()
         assert name in emitted_events()
+
+
+def test_service_events_documented():
+    """The job-service events are in both tables and actually emitted
+    (regression anchor for the service PR's schema extension)."""
+    for name in ("service.job", "service.retry", "service.cache"):
+        assert name in trace_docstring_events()
+        assert name in design_md_events()
+        assert name in emitted_events()

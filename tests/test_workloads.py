@@ -87,3 +87,42 @@ def test_report_tables_render():
         table = renderer(results)
         assert "vpr" in table and "vortex" in table
     assert "Figure 8" in summary_table(results)
+
+
+# -- CLI exit-code contract ---------------------------------------------
+
+
+def test_cli_exits_nonzero_on_any_workload_failure(monkeypatch, capsys):
+    import repro.workloads.__main__ as cli
+    from repro.workloads.runner import WorkloadFailure
+
+    def failing_sweep(failures=None, **kwargs):
+        failures.append(
+            WorkloadFailure("gzip", "RuntimeError", "boom", kind="error")
+        )
+        return {}
+
+    monkeypatch.setattr(cli, "run_all_benchmarks", failing_sweep)
+    assert cli.main([]) == 1
+    err = capsys.readouterr().err
+    assert "FAILED gzip" in err
+    assert "1 benchmark(s) failed" in err
+
+
+def test_cli_exits_zero_on_clean_sweep(monkeypatch):
+    import repro.workloads.__main__ as cli
+
+    monkeypatch.setattr(
+        cli, "run_all_benchmarks", lambda failures=None, **kwargs: {}
+    )
+    assert cli.main([]) == 0
+
+
+def test_cli_fuel_exhaustion_surfaces_as_timeout_failure(capsys):
+    import repro.workloads.__main__ as cli
+
+    # A 200-step budget kills every benchmark almost immediately, so
+    # the sweep stays fast while exercising the real fuel plumbing.
+    assert cli.main(["--fuel", "200"]) == 1
+    err = capsys.readouterr().err
+    assert "[timeout]" in err
